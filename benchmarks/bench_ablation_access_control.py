@@ -1,0 +1,74 @@
+"""Ablation E (paper section 2): slotted vs register-insertion access.
+
+The paper's open question -- "Which one of slotted or register
+insertion rings offers the best performance is not clear" -- with its
+stated intuition: register insertion wins the access race under light
+load (no waiting for a slot boundary), while the slotted ring's simple
+fairness wins under medium-to-heavy load (the SCI starvation-avoidance
+mechanism costs effective throughput, per the Scott et al. analysis
+the paper cites).
+
+This bench sweeps offered load for the paper's baseline geometry
+(32-bit, 16-byte blocks: probe slots every 10 ring cycles of 2 ns) and
+locates the crossover.
+"""
+
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.models.register_insertion import (
+    access_comparison,
+    crossover_utilization,
+)
+from repro.ring.slots import FrameLayout
+
+RING_CLOCK_PS = 2_000
+
+
+def regenerate_access_comparison():
+    layout = FrameLayout()  # 32-bit, 16-byte blocks
+    slot_period = layout.frame_stages * RING_CLOCK_PS
+    probe_time = layout.probe_stages * RING_CLOCK_PS
+    points = access_comparison(
+        slot_period_ps=slot_period,
+        message_time_ps=probe_time,
+        utilizations=[x / 10.0 for x in range(10)],
+    )
+    crossover = crossover_utilization(slot_period, probe_time)
+    return points, crossover
+
+
+def test_ablation_access_control(benchmark):
+    points, crossover = benchmark.pedantic(
+        regenerate_access_comparison, rounds=5, iterations=1
+    )
+    rows = [
+        {
+            "utilization": point.utilization,
+            "slotted (ns)": round(point.slotted_ps / 1000, 1),
+            "register insertion (ns)": round(
+                point.register_insertion_ps / 1000, 1
+            ),
+            "winner": point.winner,
+        }
+        for point in points
+    ]
+    emit(
+        "ablation_access_control",
+        render_table(
+            rows,
+            title=(
+                "Ablation E: probe access delay, slotted vs register "
+                f"insertion (crossover at {crossover:.0%} utilisation)"
+            ),
+            decimals=2,
+        ),
+    )
+    # Paper's intuition, quantified: register insertion wins at light
+    # load (no slot-alignment wait)...
+    assert points[0].winner == "register-insertion"
+    assert points[1].winner == "register-insertion"
+    # ...the slotted ring takes over under medium-to-heavy load...
+    assert points[-1].winner == "slotted"
+    # ...with the crossover somewhere in between.
+    assert 0.1 < crossover < 0.9

@@ -1,0 +1,67 @@
+"""Ablation A (paper section 3.3): probe:block slot-mix sensitivity.
+
+The paper fixes a frame at 2 probe slots per block slot, arguing the
+numbers of probes and block messages are similar while probes sweep
+the full ring and blocks travel half of it on average.  This bench
+re-runs MP3D-16 under alternative mixes and checks the 2:1 frame is
+not dominated by either a block-heavy or a probe-heavy layout.
+"""
+
+from dataclasses import replace
+
+from conftest import REFS_SPLASH, emit
+
+from repro.analysis import render_table
+from repro.core.config import Protocol, SystemConfig
+from repro.core.experiment import run_simulation
+
+MIXES = ((2, 1), (2, 2), (4, 1), (4, 2))
+
+
+def regenerate_slot_mix():
+    rows = []
+    for probes, blocks in MIXES:
+        base = SystemConfig(num_processors=16, protocol=Protocol.SNOOPING)
+        config = replace(
+            base,
+            ring=replace(base.ring, probe_slots=probes, block_slots=blocks),
+        )
+        result = run_simulation(
+            "mp3d", config=config, data_refs=REFS_SPLASH, num_processors=16
+        )
+        rows.append(
+            {
+                "probe:block": f"{probes}:{blocks}",
+                "frame stages": config.ring_layout().frame_stages,
+                "proc util": round(result.processor_utilization, 3),
+                "ring util": round(result.network_utilization, 3),
+                "miss latency (ns)": round(
+                    result.shared_miss_latency_ns, 1
+                ),
+                "upgrade latency (ns)": round(result.upgrade_latency_ns, 1),
+            }
+        )
+    return rows
+
+
+def test_ablation_slot_mix(benchmark):
+    rows = benchmark.pedantic(regenerate_slot_mix, rounds=1, iterations=1)
+    emit(
+        "ablation_slot_mix",
+        render_table(
+            rows,
+            title=(
+                "Ablation A: slot mix sensitivity "
+                "(MP3D-16, snooping, 50 MIPS)"
+            ),
+        ),
+    )
+    by_mix = {row["probe:block"]: row for row in rows}
+    baseline = by_mix["2:1"]
+    # The paper's mix is within a few percent of the best mix tried:
+    # no alternative should beat it by more than 5% latency.
+    best_latency = min(row["miss latency (ns)"] for row in rows)
+    assert baseline["miss latency (ns)"] <= best_latency * 1.05
+    # And the paper's mix never loses utilisation materially.
+    best_util = max(row["proc util"] for row in rows)
+    assert baseline["proc util"] >= best_util - 0.02

@@ -1,0 +1,94 @@
+"""Extension: flat ring vs two-level hierarchy at 64 processors.
+
+The paper's related-work section points at Hector and the KSR1 --
+production machines built as hierarchies of slotted rings -- without
+evaluating the organisation.  This extension does: the 64-processor
+MIT workloads on (a) the paper's flat 64-node ring and (b) two-level
+hierarchies of 4/8/16 local rings, all snooping, all at 50 MIPS.
+
+Expected shape: the hierarchy cuts miss latency (each segment's
+traversal is a fraction of the 64-node ring's ~390 ns round trip) and
+relieves the single ring's slot pressure, with a sweet spot at
+moderate cluster counts (very many tiny clusters push almost all
+traffic through three segments again).
+"""
+
+from dataclasses import replace
+
+from conftest import REFS_MIT, emit
+
+from repro.analysis import render_table
+from repro.core.config import Protocol, SystemConfig
+from repro.core.experiment import run_simulation
+
+BENCHES = ("fft", "weather", "simple")
+CLUSTER_COUNTS = (4, 8, 16)
+
+
+def regenerate_hierarchy():
+    rows = []
+    for name in BENCHES:
+        flat = run_simulation(
+            name, num_processors=64, protocol=Protocol.SNOOPING,
+            data_refs=REFS_MIT,
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "organisation": "flat 64-ring",
+                "proc util": round(flat.processor_utilization, 3),
+                "net util": round(flat.network_utilization, 3),
+                "miss latency (ns)": round(flat.shared_miss_latency_ns, 1),
+            }
+        )
+        for clusters in CLUSTER_COUNTS:
+            base = SystemConfig(
+                num_processors=64, protocol=Protocol.HIERARCHICAL
+            )
+            config = replace(
+                base, ring=replace(base.ring, clusters=clusters)
+            )
+            result = run_simulation(
+                name, config=config, data_refs=REFS_MIT, num_processors=64
+            )
+            rows.append(
+                {
+                    "benchmark": name,
+                    "organisation": f"{clusters} x {64 // clusters} hierarchy",
+                    "proc util": round(result.processor_utilization, 3),
+                    "net util": round(result.network_utilization, 3),
+                    "miss latency (ns)": round(
+                        result.shared_miss_latency_ns, 1
+                    ),
+                }
+            )
+    return rows
+
+
+def test_extension_hierarchy(benchmark):
+    rows = benchmark.pedantic(regenerate_hierarchy, rounds=1, iterations=1)
+    emit(
+        "ext_hierarchy",
+        render_table(
+            rows,
+            title=(
+                "Extension: flat 64-node ring vs two-level hierarchies "
+                "(snooping, 50 MIPS)"
+            ),
+        ),
+    )
+    by_key = {(row["benchmark"], row["organisation"]): row for row in rows}
+    for name in BENCHES:
+        flat = by_key[(name, "flat 64-ring")]
+        best_latency = min(
+            by_key[(name, f"{c} x {64 // c} hierarchy")]["miss latency (ns)"]
+            for c in CLUSTER_COUNTS
+        )
+        best_util = max(
+            by_key[(name, f"{c} x {64 // c} hierarchy")]["proc util"]
+            for c in CLUSTER_COUNTS
+        )
+        # The hierarchy's best configuration beats the flat ring on
+        # both latency and utilisation.
+        assert best_latency < flat["miss latency (ns)"], name
+        assert best_util >= flat["proc util"] - 0.005, name

@@ -1,0 +1,74 @@
+"""Extension: sensitivity of the paper's conclusions to pinned knobs.
+
+The paper fixes the cache (128 KB), the memory (140 ns) and the link
+width (32 bits at 500 MHz) and sweeps only processor speed.  This
+bench sweeps each pinned parameter through full simulations of
+MP3D-16 (snooping, 50 MIPS) and records how the headline metrics move
+-- the how-much-does-it-matter question for each design choice.
+
+Expected shapes:
+
+* cache size: near-flat.  This is a *documented property of the
+  synthetic workloads*, not of real programs: their miss rates are
+  episode-length driven (calibrated to Table 2 at the paper's 128 KB
+  point), so capacity barely binds.  The bench asserts the flatness so
+  a calibration change that silently introduces capacity sensitivity
+  gets noticed;
+* memory latency: miss latency tracks it roughly additively;
+* link width: wider links shrink the frame (Table 3 geometry), cutting
+  both ring utilisation and miss latency.
+"""
+
+from conftest import REFS_SPLASH, emit
+
+from repro.analysis import render_table
+from repro.core.sensitivity import sensitivity_sweep
+
+SWEEPS = (
+    ("cache_size_bytes", (32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024)),
+    ("memory_access_ps", (70_000, 140_000, 280_000)),
+    ("ring_width_bits", (16, 32, 64)),
+)
+
+
+def regenerate_sensitivity():
+    results = {}
+    for parameter, values in SWEEPS:
+        results[parameter] = sensitivity_sweep(
+            "mp3d", 16, parameter, values, data_refs=REFS_SPLASH
+        )
+    return results
+
+
+def test_extension_sensitivity(benchmark):
+    results = benchmark.pedantic(
+        regenerate_sensitivity, rounds=1, iterations=1
+    )
+    blocks = []
+    for parameter, rows in results.items():
+        blocks.append(
+            render_table(
+                rows,
+                title=f"Sensitivity to {parameter} (MP3D-16, 50 MIPS)",
+                decimals=3,
+            )
+        )
+    emit("ext_sensitivity", "\n\n".join(blocks))
+
+    cache_rows = results["cache_size_bytes"]
+    miss_rates = [row["total miss %"] for row in cache_rows]
+    spread = max(miss_rates) - min(miss_rates)
+    assert spread < 0.1, (
+        "synthetic miss rates are calibrated to be capacity-insensitive; "
+        f"sweep spread was {spread:.3f} points"
+    )
+
+    memory_rows = results["memory_access_ps"]
+    latencies = [row["miss latency (ns)"] for row in memory_rows]
+    assert latencies[0] < latencies[1] < latencies[2]
+    # Roughly additive: doubling the 140 ns access adds ~100+ ns.
+    assert latencies[2] - latencies[1] > 100.0
+
+    width_rows = results["ring_width_bits"]
+    net = [row["net util"] for row in width_rows]
+    assert net[0] > net[1] > net[2], "wider links must unload the ring"

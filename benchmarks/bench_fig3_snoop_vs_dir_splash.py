@@ -1,0 +1,81 @@
+"""Figure 3: snooping vs directory on 500 MHz 32-bit rings (SPLASH).
+
+Paper: processor utilisation, ring slot utilisation and average miss
+latency against processor cycle time (1-20 ns) for MP3D, WATER and
+CHOLESKY at 8, 16 and 32 processors, under both ring protocols.
+
+Shape to reproduce: snooping matches or beats directory nearly
+everywhere; ring utilisation is always higher for snooping (broadcast
+probes occupy slots for the full ring); the protocols' latency gap
+tracks each benchmark's read-write sharing (wide for MP3D, narrow for
+WATER/CHOLESKY); everything degrades as processors speed up.
+"""
+
+from conftest import REFS_SPLASH, emit
+
+from repro.analysis import render_sweeps, series_summary
+from repro.core.sweep import FIG3_BENCHMARKS, snooping_vs_directory
+
+
+def regenerate_fig3():
+    panels = {}
+    for name, processors in FIG3_BENCHMARKS:
+        panels[(name, processors)] = snooping_vs_directory(
+            name, processors, data_refs=REFS_SPLASH
+        )
+    return panels
+
+
+def test_fig3_snooping_vs_directory(benchmark):
+    panels = benchmark.pedantic(regenerate_fig3, rounds=1, iterations=1)
+    blocks = []
+    for (name, processors), sweeps in panels.items():
+        for metric, label in [
+            ("processor_utilization", "processor utilization"),
+            ("network_utilization", "ring utilization"),
+            ("shared_miss_latency_ns", "miss latency (ns)"),
+        ]:
+            blocks.append(
+                render_sweeps(
+                    sweeps,
+                    metric,
+                    title=f"Fig 3 {name.upper()}-{processors}: {label}",
+                    width=48,
+                    height=10,
+                )
+            )
+        blocks.append(
+            "\n".join(
+                series_summary(sweep, "shared_miss_latency_ns")
+                for sweep in sweeps
+            )
+        )
+    emit("fig3_snoop_vs_dir_splash", "\n\n".join(blocks))
+
+    for (name, processors), (snoop, directory) in panels.items():
+        snoop_util = snoop.series("processor_utilization")
+        dir_util = directory.series("processor_utilization")
+        # Snooping matches or beats directory (paper's conclusion).
+        wins = sum(s >= d - 0.01 for s, d in zip(snoop_util, dir_util))
+        assert wins >= len(snoop_util) - 2, (name, processors)
+        # Ring utilisation is higher under snooping (broadcasts).
+        assert (
+            snoop.at_cycle(5.0).network_utilization
+            >= directory.at_cycle(5.0).network_utilization
+        )
+        # Utilisation falls monotonically as processors speed up.
+        assert all(
+            later <= earlier + 1e-9
+            for earlier, later in zip(snoop_util[::-1], snoop_util[::-1][1:])
+        )
+
+    # The protocol latency gap is widest for MP3D (heavy read-write
+    # sharing) and narrow for WATER at matched size.
+    def latency_gap(name, processors):
+        snoop, directory = panels[(name, processors)]
+        return (
+            directory.at_cycle(20.0).shared_miss_latency_ns
+            - snoop.at_cycle(20.0).shared_miss_latency_ns
+        )
+
+    assert latency_gap("mp3d", 16) > latency_gap("water", 16) - 5.0

@@ -1,0 +1,77 @@
+"""Figure 5: breakdown of remote-miss types in the directory protocol.
+
+Paper: for every benchmark and size, the percentage of remote misses
+that are 1-cycle clean, 1-cycle dirty, and 2-cycle.
+
+Shape to reproduce: the 1-cycle-clean fraction of MP3D/WATER/CHOLESKY
+grows with system size (random page placement leaves a smaller local
+fraction); MP3D and FFT carry the largest dirty + 2-cycle shares
+(read-write sharing); WEATHER and SIMPLE are dominated by clean
+remote misses.
+"""
+
+from conftest import REFS_MIT, REFS_SPLASH, emit
+
+from repro.analysis import render_table
+from repro.core.sweep import miss_breakdown
+from repro.traces.benchmarks import available_configurations
+
+
+def regenerate_fig5():
+    splash = [
+        (name, procs)
+        for name, procs in available_configurations()
+        if procs != 64
+    ]
+    mit = [
+        (name, procs)
+        for name, procs in available_configurations()
+        if procs == 64
+    ]
+    breakdown = miss_breakdown(splash, data_refs=REFS_SPLASH)
+    breakdown.update(miss_breakdown(mit, data_refs=REFS_MIT))
+    return breakdown
+
+
+def test_fig5_directory_miss_breakdown(benchmark):
+    breakdown = benchmark.pedantic(regenerate_fig5, rounds=1, iterations=1)
+    rows = [
+        {"config": config, **{k: round(v, 1) for k, v in parts.items()}}
+        for config, parts in breakdown.items()
+    ]
+    emit(
+        "fig5_miss_breakdown",
+        render_table(
+            rows,
+            title=(
+                "Fig 5: directory-protocol remote misses by class (%)"
+            ),
+            decimals=1,
+        ),
+    )
+
+    def clean(config):
+        return breakdown[config]["1-cycle clean"]
+
+    def dirtyish(config):
+        return breakdown[config]["1-cycle dirty"] + breakdown[config]["2-cycle"]
+
+    for config, parts in breakdown.items():
+        assert sum(parts.values()) == 100.0 or abs(
+            sum(parts.values()) - 100.0
+        ) < 0.01
+
+    # 1-cycle-clean fraction grows with system size (random page
+    # allocation leaves less of the shared space local).
+    for name in ("mp3d", "water", "cholesky"):
+        assert clean(f"{name}8") < clean(f"{name}32") + 2.0
+
+    # MP3D and FFT are the read-write-sharing benchmarks.
+    assert dirtyish("mp3d16") > dirtyish("cholesky16")
+    assert dirtyish("fft64") > dirtyish("weather64")
+    assert dirtyish("fft64") > dirtyish("simple64")
+
+    # WEATHER/SIMPLE are clean-dominated (paper: "a very small
+    # fraction of higher latency misses").
+    assert clean("weather64") > 70.0
+    assert clean("simple64") > 70.0

@@ -1,0 +1,106 @@
+"""Figure 6: 32-bit slotted ring vs 64-bit split-transaction bus.
+
+Paper: processor utilisation, network utilisation and miss latency vs
+processor cycle for MP3D and WATER at 8/16/32 processors, comparing
+rings at 250/500 MHz with buses at 50/100 MHz (snooping everywhere).
+
+Shape to reproduce: for MP3D the buses saturate -- mildly at 8
+processors, completely at 32 -- while ring utilisation stays moderate
+and ring latencies stay flat; for WATER (light sharing) the buses
+remain competitive until processors get fast; bus latency blows up
+with processor speed while ring latency barely moves.
+"""
+
+from conftest import REFS_SPLASH, emit
+
+from repro.analysis import render_sweeps
+from repro.core.sweep import FIG6_BENCHMARKS, ring_vs_bus
+
+
+def regenerate_fig6():
+    panels = {}
+    for name, processors in FIG6_BENCHMARKS:
+        panels[(name, processors)] = ring_vs_bus(
+            name, processors, data_refs=REFS_SPLASH
+        )
+    return panels
+
+
+def test_fig6_ring_vs_bus(benchmark):
+    panels = benchmark.pedantic(regenerate_fig6, rounds=1, iterations=1)
+    blocks = []
+    for (name, processors), sweeps in panels.items():
+        for metric, label in [
+            ("processor_utilization", "processor utilization"),
+            ("network_utilization", "network utilization"),
+            ("shared_miss_latency_ns", "miss latency (ns)"),
+        ]:
+            blocks.append(
+                render_sweeps(
+                    sweeps,
+                    metric,
+                    title=f"Fig 6 {name.upper()}-{processors}: {label}",
+                    width=48,
+                    height=10,
+                )
+            )
+    emit("fig6_ring_vs_bus", "\n\n".join(blocks))
+
+    for (name, processors), sweeps in panels.items():
+        ring500, ring250, bus100, bus50 = sweeps
+
+        # Rings dominate once the matching bus is under real load; for
+        # the lightest panel (WATER-8) even the 100 MHz bus never
+        # saturates and can hold a narrow edge -- the paper grants the
+        # buses exactly that ("could outperform the slotted rings for
+        # slower processors even if only by a narrow margin").
+        if bus100.at_cycle(1.0).network_utilization > 0.55:
+            assert (
+                ring500.at_cycle(1.0).processor_utilization
+                > bus100.at_cycle(1.0).processor_utilization
+            )
+        if bus50.at_cycle(1.0).network_utilization > 0.55:
+            assert (
+                ring250.at_cycle(1.0).processor_utilization
+                > bus50.at_cycle(1.0).processor_utilization
+            )
+
+        # Ring latency is far more stable against processor speed than
+        # bus latency (the paper's "less affected by contention").  The
+        # comparison binds once the bus actually sees contention --
+        # WATER-8 keeps the 50 MHz bus under half load even at 1 ns.
+        ring_growth = (
+            ring500.at_cycle(1.0).shared_miss_latency_ns
+            / ring500.at_cycle(20.0).shared_miss_latency_ns
+        )
+        bus_growth = (
+            bus50.at_cycle(1.0).shared_miss_latency_ns
+            / bus50.at_cycle(20.0).shared_miss_latency_ns
+        )
+        entering_saturation = (
+            bus50.at_cycle(20.0).network_utilization < 0.5
+            and bus50.at_cycle(1.0).network_utilization > 0.5
+        )
+        if entering_saturation:
+            assert bus_growth > ring_growth
+        # In absolute terms the loaded bus is always the slower path.
+        assert (
+            bus50.at_cycle(1.0).shared_miss_latency_ns
+            > ring500.at_cycle(1.0).shared_miss_latency_ns
+        )
+
+    # MP3D-32: both buses completely saturated, ring under ~80%.
+    mp3d32 = panels[("mp3d", 32)]
+    assert mp3d32[3].at_cycle(5.0).network_utilization > 0.95  # 50 MHz bus
+    assert mp3d32[2].at_cycle(5.0).network_utilization > 0.90  # 100 MHz bus
+    assert mp3d32[0].at_cycle(5.0).network_utilization < 0.85  # 500 MHz ring
+
+    # WATER-8: the light-sharing case where buses stay healthy at
+    # 50 MIPS (paper: "buses only start to saturate for processor
+    # speeds higher than 200 MIPS").
+    water8 = panels[("water", 8)]
+    assert water8[3].at_cycle(20.0).network_utilization < 0.5
+    assert (
+        water8[2].at_cycle(20.0).processor_utilization
+        > 0.9 * water8[0].at_cycle(20.0).processor_utilization
+    )

@@ -1,0 +1,56 @@
+"""Table 3: snooping rate (probe inter-arrival time per bank).
+
+Paper: minimum nanoseconds between probes to one dual-directory bank
+on a 500 MHz ring, across link widths 16/32/64 bits and block sizes
+16-128 bytes.  This is pure slot geometry, so the reproduction must be
+**exact** in every cell.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.models.snoop_rate import (
+    PAPER_TABLE3,
+    TABLE3_BLOCK_SIZES,
+    TABLE3_WIDTHS,
+    snoop_rate_table,
+)
+
+
+def regenerate_table3():
+    return snoop_rate_table()
+
+
+def test_table3_snoop_rate(benchmark):
+    rows = benchmark.pedantic(regenerate_table3, rounds=5, iterations=1)
+    paper_rows = [
+        {
+            "block size (bytes)": block,
+            **{
+                f"{width}-bit": PAPER_TABLE3[(block, width)]
+                for width in TABLE3_WIDTHS
+            },
+        }
+        for block in TABLE3_BLOCK_SIZES
+    ]
+    emit(
+        "table3_snoop_rate",
+        render_table(
+            rows,
+            title="Table 3: snooping rate (ns), 500 MHz links -- ours",
+            decimals=0,
+        )
+        + "\n\n"
+        + render_table(
+            paper_rows,
+            title="Table 3 -- paper",
+            decimals=0,
+        ),
+    )
+    for row in rows:
+        block = row["block size (bytes)"]
+        for width in TABLE3_WIDTHS:
+            assert row[f"{width}-bit"] == pytest.approx(
+                PAPER_TABLE3[(block, width)]
+            ), f"Table 3 cell ({block} B, {width}-bit) mismatch"

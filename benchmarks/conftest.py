@@ -1,0 +1,39 @@
+"""Shared machinery for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures, prints
+it (visible with ``pytest benchmarks/ -s``), and also writes the
+rendered text to ``benchmarks/output/<name>.txt`` so the artefacts
+survive pytest's output capturing.
+
+Simulations are shared across benches through the process-wide cache
+in ``repro.core.experiment`` (same mechanism as the paper: one
+trace-driven run feeds many model curves), so the full harness costs
+far less than the sum of its parts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+#: Per-processor trace length for the 8-32 processor SPLASH runs.
+REFS_SPLASH = 6_000
+#: Per-processor trace length for the 64-processor MIT runs.
+REFS_MIT = 2_500
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered artefact and persist it under output/."""
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR

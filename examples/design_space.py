@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Design-space exploration: slot geometry and snooping-rate limits.
+
+Explores the questions of the paper's sections 2 and 3.3:
+
+* how ring width and block size set the frame geometry and therefore
+  the snooper's real-time budget (Table 3);
+* how ring size (and its pure round-trip latency) grows with the node
+  count;
+* how the probe:block slot mix changes delivered performance for a
+  probe-heavy coherence workload.
+
+Run:  python examples/design_space.py
+"""
+
+from dataclasses import replace
+
+from repro import Protocol, SystemConfig, run_simulation
+from repro.analysis import render_table
+from repro.models import snoop_rate_table
+from repro.ring.slots import FrameLayout
+from repro.ring.topology import RingTopology
+
+
+def frame_geometry() -> None:
+    print("Frame geometry (probe/block/frame stages) by width and block:")
+    rows = []
+    for width in (16, 32, 64):
+        for block in (16, 32, 64, 128):
+            layout = FrameLayout(width_bits=width, block_size=block)
+            rows.append(
+                {
+                    "width (bits)": width,
+                    "block (bytes)": block,
+                    "probe stages": layout.probe_stages,
+                    "block stages": layout.block_stages,
+                    "frame stages": layout.frame_stages,
+                }
+            )
+    print(render_table(rows))
+    print()
+
+
+def snoop_rates() -> None:
+    print("Snooping rate (probe inter-arrival per dual-directory bank, ns):")
+    print(render_table(snoop_rate_table(), decimals=0))
+    print()
+
+
+def ring_scaling() -> None:
+    print("Ring size and pure round-trip latency vs node count (500 MHz):")
+    layout = FrameLayout()
+    rows = []
+    for nodes in (4, 8, 16, 32, 64):
+        topology = RingTopology.for_layout(nodes, layout)
+        rows.append(
+            {
+                "nodes": nodes,
+                "stages": topology.total_stages,
+                "frames": topology.num_frames,
+                "round trip (ns)": topology.total_stages * 2,
+            }
+        )
+    print(render_table(rows))
+    print()
+
+
+def slot_mix() -> None:
+    print("Slot-mix sensitivity (MP3D @ 16 processors, snooping):")
+    rows = []
+    for probes, blocks in ((2, 1), (2, 2), (4, 1)):
+        base = SystemConfig(num_processors=16, protocol=Protocol.SNOOPING)
+        config = replace(
+            base,
+            ring=replace(base.ring, probe_slots=probes, block_slots=blocks),
+        )
+        result = run_simulation(
+            "mp3d", config=config, data_refs=4_000, num_processors=16
+        )
+        rows.append(
+            {
+                "probe:block": f"{probes}:{blocks}",
+                "frame stages": config.ring_layout().frame_stages,
+                "proc util": round(result.processor_utilization, 3),
+                "ring util": round(result.network_utilization, 3),
+                "miss latency (ns)": round(result.shared_miss_latency_ns, 1),
+            }
+        )
+    print(render_table(rows))
+    print(
+        "\nThe paper's 2:1 mix matches the measured message mix: probes\n"
+        "and blocks are generated in similar numbers, but probes sweep\n"
+        "the whole ring while blocks travel half of it on average."
+    )
+
+
+def main() -> None:
+    frame_geometry()
+    snoop_rates()
+    ring_scaling()
+    slot_mix()
+
+
+if __name__ == "__main__":
+    main()

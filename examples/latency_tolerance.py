@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Latency tolerance on the ring vs the bus (paper section 6).
+
+The paper closes by arguing that the slotted ring is a natural host
+for latency-tolerance techniques (lockup-free caches, weak ordering,
+multithreading): its large latencies are mostly *pure delay* on an
+underutilised network, so overlapping them with computation adds load
+the ring can absorb.  On a bus near saturation the same techniques are
+"self-defeating".
+
+This example turns on the repository's write-latency-tolerance
+extension (permission upgrades retire into a store buffer and complete
+in the background) and measures both interconnects.
+
+Run:  python examples/latency_tolerance.py [benchmark] [processors]
+      (defaults: mp3d 16)
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import Protocol, SystemConfig, run_simulation
+from repro.analysis import render_table
+
+
+def measure(benchmark, processors, protocol, weak):
+    base = SystemConfig(num_processors=processors, protocol=protocol)
+    config = replace(
+        base, processor=replace(base.processor, weak_ordering=weak)
+    )
+    return run_simulation(
+        benchmark, config=config, data_refs=8_000, num_processors=processors
+    )
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "mp3d"
+    processors = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+
+    rows = []
+    for protocol, label in (
+        (Protocol.SNOOPING, "500 MHz ring"),
+        (Protocol.BUS, "50 MHz bus"),
+    ):
+        baseline = measure(benchmark, processors, protocol, weak=False)
+        tolerant = measure(benchmark, processors, protocol, weak=True)
+        rows.append(
+            {
+                "interconnect": label,
+                "util (blocking)": round(baseline.processor_utilization, 3),
+                "util (weak ord.)": round(tolerant.processor_utilization, 3),
+                "gain (pts)": round(
+                    100
+                    * (
+                        tolerant.processor_utilization
+                        - baseline.processor_utilization
+                    ),
+                    1,
+                ),
+                "latency delta (ns)": round(
+                    tolerant.shared_miss_latency_ns
+                    - baseline.shared_miss_latency_ns,
+                    1,
+                ),
+                "net util (weak)": round(tolerant.network_utilization, 3),
+            }
+        )
+    print(
+        render_table(
+            rows,
+            title=(
+                f"Write-latency tolerance, {benchmark.upper()}-"
+                f"{processors} @ 50 MIPS"
+            ),
+            decimals=3,
+        )
+    )
+    print(
+        "\nThe ring hides the upgrade stalls at almost no latency cost;\n"
+        "the loaded bus cannot (extra overlap only deepens its queues) --\n"
+        "the paper's section 6 argument, measured."
+    )
+
+
+if __name__ == "__main__":
+    main()

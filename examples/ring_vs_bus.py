@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Slotted ring vs split-transaction bus (paper Fig. 6 and Table 4).
+
+Compares 32-bit rings at 250/500 MHz against 64-bit buses at
+50/100 MHz under the snooping protocol, then solves for the bus clock
+a 64-bit bus would need to match each ring's processor utilisation at
+100/200/400 MIPS (one row of the paper's Table 4).
+
+Run:  python examples/ring_vs_bus.py [benchmark] [processors]
+      (defaults: mp3d 16)
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import Protocol, SystemConfig
+from repro.analysis import render_sweeps, render_table
+from repro.core.experiment import run_simulation_cached
+from repro.core.sweep import ring_vs_bus
+from repro.models import matching_bus_clock_ns
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "mp3d"
+    processors = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+
+    print(f"Ring vs bus: {benchmark} @ {processors} processors (snooping)\n")
+    sweeps = ring_vs_bus(benchmark, processors, data_refs=10_000)
+    for metric, label in [
+        ("processor_utilization", "processor utilization"),
+        ("network_utilization", "network utilization"),
+        ("shared_miss_latency_ns", "miss latency (ns)"),
+    ]:
+        print(
+            render_sweeps(
+                sweeps,
+                metric,
+                title=f"{benchmark.upper()}-{processors}: {label}",
+                width=56,
+                height=12,
+            )
+        )
+        print()
+
+    # Table 4 row: bus clock needed to match ring performance.
+    extraction = run_simulation_cached(
+        benchmark, processors, Protocol.SNOOPING, data_refs=10_000
+    )
+    rows = []
+    for ring_mhz in (250, 500):
+        base = SystemConfig(num_processors=processors)
+        config = replace(
+            base, ring=replace(base.ring, clock_ps=round(1e6 / ring_mhz))
+        )
+        row = {"ring": f"{ring_mhz} MHz"}
+        for mips in (100, 200, 400):
+            clock_ns = matching_bus_clock_ns(
+                config, extraction.inputs, round(1e6 / mips)
+            )
+            row[f"{mips} MIPS"] = round(clock_ns, 1)
+        rows.append(row)
+    print(
+        render_table(
+            rows,
+            title=(
+                "Bus clock cycle (ns) for a 64-bit bus to match the "
+                "32-bit ring (Table 4 row)"
+            ),
+            decimals=1,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

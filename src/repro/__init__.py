@@ -1,0 +1,72 @@
+"""repro: cache-coherent ring-based multiprocessor performance study.
+
+A full reimplementation of the systems evaluated in Barroso & Dubois,
+"The Performance of Cache-Coherent Ring-based Multiprocessors"
+(ISCA 1993): the unidirectional slotted ring with snooping, full-map
+directory, and SCI-style linked-list coherence protocols; a
+split-transaction bus comparison system; synthetic SPLASH/MIT-style
+workloads; and the paper's hybrid simulation + iterative-analytical-
+model evaluation methodology.
+
+Quick start::
+
+    from repro import run_simulation, Protocol
+
+    result = run_simulation("mp3d", num_processors=16,
+                            protocol=Protocol.SNOOPING)
+    print(result.processor_utilization, result.shared_miss_latency_ns)
+"""
+
+from repro.core.config import (
+    BusConfig,
+    CacheConfig,
+    MemoryConfig,
+    ProcessorConfig,
+    Protocol,
+    RingConfig,
+    SystemConfig,
+)
+from repro.core.experiment import (
+    run_simulation,
+    run_simulation_cached,
+    clear_simulation_cache,
+)
+from repro.core.metrics import CoherenceStats, MissClass
+from repro.core.results import (
+    ModelInputs,
+    OperatingPoint,
+    SimulationResult,
+    SweepResult,
+)
+from repro.traces.benchmarks import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    available_configurations,
+    benchmark_spec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BusConfig",
+    "CacheConfig",
+    "MemoryConfig",
+    "ProcessorConfig",
+    "Protocol",
+    "RingConfig",
+    "SystemConfig",
+    "run_simulation",
+    "run_simulation_cached",
+    "clear_simulation_cache",
+    "CoherenceStats",
+    "MissClass",
+    "ModelInputs",
+    "OperatingPoint",
+    "SimulationResult",
+    "SweepResult",
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "available_configurations",
+    "benchmark_spec",
+    "__version__",
+]

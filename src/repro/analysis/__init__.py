@@ -1,0 +1,13 @@
+"""Table and figure renderers for the benchmark harness and examples."""
+
+from repro.analysis.figures import render_chart, render_sweeps, series_summary
+from repro.analysis.tables import format_value, paper_vs_measured, render_table
+
+__all__ = [
+    "render_chart",
+    "render_sweeps",
+    "series_summary",
+    "format_value",
+    "paper_vs_measured",
+    "render_table",
+]

@@ -1,0 +1,108 @@
+"""ASCII rendering of the paper's figure-style curves.
+
+The paper's figures plot a metric against processor cycle time for
+several system variants.  :func:`render_chart` draws the same series
+as a terminal line chart so the benchmark harness can show curve
+*shapes* (who wins, where crossovers fall) without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.results import SweepResult
+
+__all__ = ["render_chart", "render_sweeps", "series_summary"]
+
+#: Plot glyphs cycled across series, echoing the paper's line styles.
+MARKERS = "*o+x#@%&"
+
+
+def render_chart(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    title: str,
+    x_label: str = "processor cycle (ns)",
+    y_label: str = "",
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Draw (label, xs, ys) series on one ASCII grid.
+
+    Points are nearest-cell rasterised; later series overwrite earlier
+    ones where they collide (collisions are rare at default size).
+    """
+    populated = [entry for entry in series if len(entry[1]) and len(entry[2])]
+    if not populated:
+        return f"{title}\n(no data)"
+    all_x = [x for _, xs, _ in populated for x in xs]
+    all_y = [y for _, _, ys in populated for y in ys]
+    x_low, x_high = min(all_x), max(all_x)
+    y_low, y_high = min(all_y), max(all_y)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, xs, ys) in enumerate(populated):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in zip(xs, ys):
+            column = round((x - x_low) / (x_high - x_low) * (width - 1))
+            row = round((y - y_low) / (y_high - y_low) * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines: List[str] = [title]
+    if y_label:
+        lines.append(y_label)
+    top = f"{y_high:.3g}".rjust(8)
+    bottom = f"{y_low:.3g}".rjust(8)
+    for row_index, row in enumerate(grid):
+        prefix = top if row_index == 0 else (
+            bottom if row_index == height - 1 else " " * 8
+        )
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(
+        " " * 9
+        + f"{x_low:.3g}".ljust(width - 8)
+        + f"{x_high:.3g}".rjust(8)
+    )
+    lines.append(" " * 9 + x_label)
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {label}"
+        for i, (label, _, _) in enumerate(populated)
+    )
+    lines.append("  legend: " + legend)
+    return "\n".join(lines)
+
+
+def render_sweeps(
+    sweeps: Sequence[SweepResult],
+    metric: str,
+    title: str,
+    y_label: str = "",
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Chart one metric of several model sweeps (Figure 3/4/6 style)."""
+    series = [
+        (sweep.label, sweep.cycles_ns(), sweep.series(metric))
+        for sweep in sweeps
+    ]
+    return render_chart(
+        series, title=title, y_label=y_label, width=width, height=height
+    )
+
+
+def series_summary(sweep: SweepResult, metric: str) -> str:
+    """One-line endpoints summary: value at 20 ns and at 1 ns."""
+    values = sweep.series(metric)
+    cycles = sweep.cycles_ns()
+    if not values:
+        return f"{sweep.label}: (empty)"
+    slow = values[cycles.index(max(cycles))]
+    fast = values[cycles.index(min(cycles))]
+    return (
+        f"{sweep.label}: {metric} {slow:.3g} @ {max(cycles):.0f} ns -> "
+        f"{fast:.3g} @ {min(cycles):.0f} ns"
+    )

@@ -1,0 +1,88 @@
+"""Plain-text table rendering for benches and examples.
+
+The benchmark harness prints each of the paper's tables side by side
+with the measured values; this module provides the minimal formatting
+needed (no third-party dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["render_table", "format_value", "paper_vs_measured"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_value(value: Cell, decimals: int = 2) -> str:
+    """Human formatting: floats rounded, None blank, rest str()."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    decimals: int = 2,
+) -> str:
+    """Render dict-rows as an aligned text table.
+
+    Columns default to the union of keys in first-seen order.
+    """
+    if not rows:
+        return (title + "\n") if title else ""
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    formatted = [
+        [format_value(row.get(column), decimals) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in formatted))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(
+        str(column).ljust(width) for column, width in zip(columns, widths)
+    )
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in formatted:
+        lines.append(
+            " | ".join(cell.rjust(width) for cell, width in zip(line, widths))
+        )
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    label: str,
+    paper: Mapping[str, Cell],
+    measured: Mapping[str, Cell],
+    decimals: int = 2,
+) -> str:
+    """Two-row 'paper vs ours' block with a shared column set."""
+    columns = ["source"] + [key for key in paper]
+    paper_row: Dict[str, Cell] = {"source": "paper"}
+    paper_row.update(paper)
+    measured_row: Dict[str, Cell] = {"source": "ours"}
+    for key in paper:
+        measured_row[key] = measured.get(key)
+    return render_table(
+        [paper_row, measured_row],
+        columns=columns,
+        title=label,
+        decimals=decimals,
+    )

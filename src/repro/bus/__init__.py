@@ -1,0 +1,5 @@
+"""Split-transaction bus substrate (the paper's comparison system)."""
+
+from repro.bus.bus import BusSystem
+
+__all__ = ["BusSystem"]

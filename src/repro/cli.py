@@ -1,0 +1,313 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's layers:
+
+* ``simulate``  -- one trace-driven simulation, headline metrics.
+* ``sweep``     -- hybrid methodology curves for one configuration.
+* ``compare``   -- snooping vs directory (Figure 3/4 style panels).
+* ``ringbus``   -- ring vs bus (Figure 6 style panels).
+* ``validate``  -- model-vs-simulation error report.
+* ``snooprate`` -- the closed-form Table 3.
+* ``benchmarks``-- list available workload configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.figures import render_sweeps
+from repro.analysis.tables import render_table
+from repro.core.config import Protocol, SystemConfig
+from repro.core.experiment import DEFAULT_DATA_REFS, run_simulation
+from repro.core.hybrid import hybrid_sweep, validate_model
+from repro.core.sweep import ring_vs_bus, snooping_vs_directory
+from repro.models.snoop_rate import snoop_rate_table
+from repro.traces.benchmarks import available_configurations
+
+__all__ = ["main", "build_parser"]
+
+_PROTOCOLS = {protocol.value: protocol for protocol in Protocol}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Cache-coherent slotted-ring multiprocessor study "
+            "(Barroso & Dubois, ISCA 1993 reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("benchmark", help="workload name (see 'benchmarks')")
+        sub.add_argument(
+            "-p",
+            "--processors",
+            type=int,
+            default=16,
+            help="system size (default 16)",
+        )
+        sub.add_argument(
+            "-r",
+            "--refs",
+            type=int,
+            default=DEFAULT_DATA_REFS,
+            help="data references per processor "
+            f"(default {DEFAULT_DATA_REFS})",
+        )
+
+    simulate = commands.add_parser(
+        "simulate", help="run one trace-driven simulation"
+    )
+    add_workload_arguments(simulate)
+    simulate.add_argument(
+        "--protocol",
+        choices=sorted(_PROTOCOLS),
+        default=Protocol.SNOOPING.value,
+    )
+    simulate.add_argument(
+        "--mips",
+        type=float,
+        default=50.0,
+        help="processor speed (default 50 MIPS, the paper's)",
+    )
+    simulate.add_argument(
+        "--ring-mhz", type=float, default=500.0, help="ring clock"
+    )
+    simulate.add_argument(
+        "--bus-mhz", type=float, default=50.0, help="bus clock"
+    )
+    simulate.add_argument(
+        "--weak-ordering",
+        action="store_true",
+        help="overlap permission upgrades (paper section 6 extension)",
+    )
+    simulate.add_argument(
+        "--clusters",
+        type=int,
+        default=4,
+        help="local rings for --protocol hierarchical (default 4)",
+    )
+
+    sweep = commands.add_parser(
+        "sweep", help="hybrid-methodology curves for one configuration"
+    )
+    add_workload_arguments(sweep)
+    sweep.add_argument(
+        "--protocol",
+        choices=sorted(_PROTOCOLS),
+        default=Protocol.SNOOPING.value,
+    )
+
+    compare = commands.add_parser(
+        "compare", help="snooping vs directory panels (Figure 3/4 style)"
+    )
+    add_workload_arguments(compare)
+
+    ringbus = commands.add_parser(
+        "ringbus", help="ring vs bus panels (Figure 6 style)"
+    )
+    add_workload_arguments(ringbus)
+
+    validate = commands.add_parser(
+        "validate", help="model-vs-simulation error report"
+    )
+    add_workload_arguments(validate)
+    validate.add_argument(
+        "--protocol",
+        choices=sorted(_PROTOCOLS),
+        default=Protocol.SNOOPING.value,
+    )
+
+    commands.add_parser("snooprate", help="print Table 3 (snooping rate)")
+    commands.add_parser("benchmarks", help="list workload configurations")
+    return parser
+
+
+def _system_config(args: argparse.Namespace) -> SystemConfig:
+    from dataclasses import replace
+
+    protocol = _PROTOCOLS[args.protocol]
+    base = SystemConfig(num_processors=args.processors, protocol=protocol)
+    return replace(
+        base,
+        ring=replace(
+            base.ring,
+            clock_ps=round(1e6 / args.ring_mhz),
+            clusters=getattr(args, "clusters", base.ring.clusters),
+        ),
+        bus=replace(base.bus, clock_ps=round(1e6 / args.bus_mhz)),
+        processor=replace(
+            base.processor,
+            cycle_ps=round(1e6 / args.mips),
+            weak_ordering=args.weak_ordering,
+        ),
+    )
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    config = _system_config(args)
+    result = run_simulation(
+        args.benchmark,
+        config=config,
+        data_refs=args.refs,
+        num_processors=args.processors,
+    )
+    print(f"benchmark             : {result.benchmark} @ {args.processors}p")
+    print(f"protocol              : {result.protocol.value}")
+    print(f"processor speed       : {result.mips:.0f} MIPS")
+    print(f"simulated time        : {result.elapsed_ps / 1e6:.1f} us")
+    print(f"processor utilization : {result.processor_utilization:.1%}")
+    print(f"network utilization   : {result.network_utilization:.1%}")
+    print(f"shared-miss latency   : {result.shared_miss_latency_ns:.0f} ns")
+    print(f"upgrade latency       : {result.upgrade_latency_ns:.0f} ns")
+    print()
+    print(render_table([result.trace.as_row()], title="Trace characteristics"))
+    breakdown = result.stats.miss_class_percentages()
+    populated = {
+        klass.value: round(share, 1)
+        for klass, share in breakdown.items()
+        if share > 0.0
+    }
+    if populated:
+        print()
+        print(render_table([populated], title="Remote-miss classes (%)"))
+    return 0
+
+
+def _print_sweeps(sweeps, title: str) -> None:
+    for metric, label in (
+        ("processor_utilization", "processor utilization"),
+        ("network_utilization", "network utilization"),
+        ("shared_miss_latency_ns", "miss latency (ns)"),
+    ):
+        print(render_sweeps(sweeps, metric, title=f"{title}: {label}"))
+        print()
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    sweep = hybrid_sweep(
+        args.benchmark,
+        args.processors,
+        _PROTOCOLS[args.protocol],
+        data_refs=args.refs,
+    )
+    rows = [
+        {
+            "cycle (ns)": point.processor_cycle_ns,
+            "MIPS": round(point.mips),
+            "proc util": round(point.processor_utilization, 3),
+            "net util": round(point.network_utilization, 3),
+            "miss latency (ns)": round(point.shared_miss_latency_ns, 1),
+        }
+        for point in sweep.points
+    ]
+    print(render_table(rows, title=sweep.label))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    sweeps = snooping_vs_directory(
+        args.benchmark, args.processors, data_refs=args.refs
+    )
+    _print_sweeps(sweeps, f"{args.benchmark}-{args.processors}")
+    return 0
+
+
+def _command_ringbus(args: argparse.Namespace) -> int:
+    sweeps = ring_vs_bus(args.benchmark, args.processors, data_refs=args.refs)
+    _print_sweeps(sweeps, f"{args.benchmark}-{args.processors}")
+    return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    report = validate_model(
+        args.benchmark,
+        args.processors,
+        _PROTOCOLS[args.protocol],
+        data_refs=args.refs,
+    )
+    rows = [
+        {
+            "metric": "processor utilization",
+            "simulation": round(report.sim_processor_utilization, 3),
+            "model": round(report.model_processor_utilization, 3),
+            "error": round(report.utilization_error, 3),
+        },
+        {
+            "metric": "network utilization",
+            "simulation": round(report.sim_network_utilization, 3),
+            "model": round(report.model_network_utilization, 3),
+            "error": round(report.network_error, 3),
+        },
+        {
+            "metric": "shared-miss latency (ns)",
+            "simulation": round(report.sim_shared_miss_latency_ns, 1),
+            "model": round(report.model_shared_miss_latency_ns, 1),
+            "error": f"{report.latency_error_percent:.1f}%",
+        },
+    ]
+    print(
+        render_table(
+            rows,
+            title=(
+                f"Model validation: {report.benchmark} @ "
+                f"{args.processors}p, {report.protocol.value}, "
+                f"{report.processor_cycle_ns:.0f} ns cycle"
+            ),
+        )
+    )
+    within = (
+        report.utilization_error < 0.05
+        and report.latency_error_percent < 15.0
+    )
+    print(
+        "\nwithin the paper's tolerances (15% latency / 5 pt utilization): "
+        + ("yes" if within else "NO")
+    )
+    return 0 if within else 1
+
+
+def _command_snooprate(_: argparse.Namespace) -> int:
+    print(
+        render_table(
+            snoop_rate_table(),
+            title="Table 3: probe inter-arrival per dual-directory bank (ns)",
+            decimals=0,
+        )
+    )
+    return 0
+
+
+def _command_benchmarks(_: argparse.Namespace) -> int:
+    rows = [
+        {"benchmark": name, "processors": processors}
+        for name, processors in available_configurations()
+    ]
+    print(render_table(rows, title="Available workload configurations"))
+    return 0
+
+
+_HANDLERS = {
+    "simulate": _command_simulate,
+    "sweep": _command_sweep,
+    "compare": _command_compare,
+    "ringbus": _command_ringbus,
+    "validate": _command_validate,
+    "snooprate": _command_snooprate,
+    "benchmarks": _command_benchmarks,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

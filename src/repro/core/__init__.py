@@ -1,0 +1,78 @@
+"""Core layer: configuration, experiments, hybrid methodology.
+
+``repro.core.experiment`` is re-exported lazily (PEP 562) because it
+pulls in the protocol engines, which themselves import this package's
+``config`` module.
+"""
+
+from repro.core.config import (
+    BusConfig,
+    CacheConfig,
+    MemoryConfig,
+    ProcessorConfig,
+    Protocol,
+    RingConfig,
+    SystemConfig,
+)
+from repro.core.metrics import (
+    CoherenceStats,
+    LatencyAccumulator,
+    MissClass,
+    TraversalHistogram,
+)
+from repro.core.results import (
+    ModelInputs,
+    OperatingPoint,
+    SimulationResult,
+    SweepResult,
+)
+
+_LAZY_EXPERIMENT_EXPORTS = (
+    "DEFAULT_DATA_REFS",
+    "build_engine",
+    "clear_simulation_cache",
+    "run_simulation",
+    "run_simulation_cached",
+)
+
+_LAZY_REPLICATION_EXPORTS = (
+    "MetricSummary",
+    "ReplicationReport",
+    "replicate",
+)
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPERIMENT_EXPORTS:
+        from repro.core import experiment
+
+        return getattr(experiment, name)
+    if name in _LAZY_REPLICATION_EXPORTS:
+        from repro.core import replication
+
+        return getattr(replication, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "BusConfig",
+    "CacheConfig",
+    "MemoryConfig",
+    "ProcessorConfig",
+    "Protocol",
+    "RingConfig",
+    "SystemConfig",
+    "DEFAULT_DATA_REFS",
+    "build_engine",
+    "clear_simulation_cache",
+    "run_simulation",
+    "run_simulation_cached",
+    "CoherenceStats",
+    "LatencyAccumulator",
+    "MissClass",
+    "TraversalHistogram",
+    "ModelInputs",
+    "OperatingPoint",
+    "SimulationResult",
+    "SweepResult",
+]

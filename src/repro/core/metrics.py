@@ -1,0 +1,257 @@
+"""Metric accumulators shared by all protocol engines.
+
+The paper reports three headline metrics per configuration (processor
+utilisation, interconnect utilisation, average miss latency) plus two
+structural breakdowns (miss classes for Figure 5; ring-traversal
+distributions for Table 1).  Everything here is protocol-agnostic; the
+engines decide what to record.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+__all__ = [
+    "MissClass",
+    "LatencyAccumulator",
+    "TraversalHistogram",
+    "CoherenceStats",
+]
+
+
+class MissClass(enum.Enum):
+    """Classification of a data-cache miss.
+
+    The directory-protocol classes mirror Figure 5:
+
+    * ``REMOTE_CLEAN`` -- "1-cycle clean": clean block, remote home,
+      one ring traversal;
+    * ``DIRTY_ONE_CYCLE`` -- "1-cycle dirty": dirty block whose owner
+      position allows commit in one traversal (three hops);
+    * ``TWO_CYCLE`` -- everything needing a second traversal.
+
+    The snooping protocol uses ``REMOTE_CLEAN`` / ``REMOTE_DIRTY`` (all
+    of its transactions take exactly one traversal), and both protocols
+    share the local/private classes.
+    """
+
+    #: Miss on private data (always served by the local node).
+    PRIVATE = "private"
+    #: Shared-data miss whose home is the requester and block is clean.
+    LOCAL_CLEAN = "local-clean"
+    #: Shared clean miss served by a remote home (1 traversal).
+    REMOTE_CLEAN = "remote-clean"
+    #: Snooping: shared miss served by a (remote) dirty owner.
+    REMOTE_DIRTY = "remote-dirty"
+    #: Directory: dirty miss committing in one ring traversal.
+    DIRTY_ONE_CYCLE = "dirty-1-cycle"
+    #: Directory: miss needing two ring traversals.
+    TWO_CYCLE = "2-cycle"
+
+    @property
+    def is_shared(self) -> bool:
+        return self is not MissClass.PRIVATE
+
+    @property
+    def is_remote(self) -> bool:
+        """Whether the miss crossed the interconnect for data."""
+        return self not in (MissClass.PRIVATE, MissClass.LOCAL_CLEAN)
+
+
+@dataclass
+class LatencyAccumulator:
+    """Count / total / extrema of a latency population (picoseconds)."""
+
+    count: int = 0
+    total_ps: int = 0
+    min_ps: Optional[int] = None
+    max_ps: Optional[int] = None
+
+    def record(self, latency_ps: int) -> None:
+        self.count += 1
+        self.total_ps += latency_ps
+        if self.min_ps is None or latency_ps < self.min_ps:
+            self.min_ps = latency_ps
+        if self.max_ps is None or latency_ps > self.max_ps:
+            self.max_ps = latency_ps
+
+    def merge(self, other: "LatencyAccumulator") -> None:
+        self.count += other.count
+        self.total_ps += other.total_ps
+        for bound in (other.min_ps,):
+            if bound is not None and (self.min_ps is None or bound < self.min_ps):
+                self.min_ps = bound
+        for bound in (other.max_ps,):
+            if bound is not None and (self.max_ps is None or bound > self.max_ps):
+                self.max_ps = bound
+
+    @property
+    def mean_ps(self) -> float:
+        return self.total_ps / self.count if self.count else 0.0
+
+    @property
+    def mean_ns(self) -> float:
+        return self.mean_ps / 1000.0
+
+
+class TraversalHistogram:
+    """Distribution of ring traversals per transaction (Table 1).
+
+    The paper buckets transactions as needing 1, 2, or "3 or more"
+    traversals; the raw counts are kept so other groupings remain
+    possible.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def record(self, traversals: int) -> None:
+        if traversals < 0:
+            raise ValueError("traversals must be non-negative")
+        self._counts[traversals] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def count(self, traversals: int) -> int:
+        return self._counts[traversals]
+
+    def percentage(self, traversals: int) -> float:
+        """Percent of transactions needing exactly ``traversals``."""
+        total = self.total
+        return 100.0 * self._counts[traversals] / total if total else 0.0
+
+    def percentage_at_least(self, traversals: int) -> float:
+        """Percent needing ``traversals`` or more (the paper's '3+')."""
+        total = self.total
+        if not total:
+            return 0.0
+        matching = sum(
+            count for value, count in self._counts.items() if value >= traversals
+        )
+        return 100.0 * matching / total
+
+    def mean(self) -> float:
+        """Average traversals per recorded transaction (0 if none)."""
+        total = self.total
+        if not total:
+            return 0.0
+        return sum(
+            value * count for value, count in self._counts.items()
+        ) / total
+
+    def as_paper_row(self) -> Dict[str, float]:
+        """The Table 1 buckets: {'1': %, '2': %, '3+': %}."""
+        return {
+            "1": self.percentage(1),
+            "2": self.percentage(2),
+            "3+": self.percentage_at_least(3),
+        }
+
+
+@dataclass
+class CoherenceStats:
+    """Everything one simulation run records about coherence activity."""
+
+    #: Latency per miss class.
+    miss_latency: Dict[MissClass, LatencyAccumulator] = field(
+        default_factory=lambda: {klass: LatencyAccumulator() for klass in MissClass}
+    )
+    #: Latency of permission upgrades ("invalidations", footnote 1).
+    upgrade_latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    #: Upgrades that found other cached copies to invalidate.
+    upgrades_with_sharers: int = 0
+    #: Upgrades that found the block uncached elsewhere.
+    upgrades_without_sharers: int = 0
+    #: Ring traversals per *remote shared miss* (Table 1, "Miss").
+    miss_traversals: TraversalHistogram = field(default_factory=TraversalHistogram)
+    #: Ring traversals per upgrade (Table 1, "Invalidate").
+    upgrade_traversals: TraversalHistogram = field(default_factory=TraversalHistogram)
+    #: Message counts (traffic accounting).
+    probes_sent: int = 0
+    #: Of the probes sent, how many swept the full ring (broadcasts and
+    #: multicast invalidations); the rest are unicast.  The analytical
+    #: models use this to estimate mean probe-slot occupancy.
+    broadcast_probes: int = 0
+    blocks_sent: int = 0
+    #: Requests the home forwarded onward (to the dirty node in the
+    #: full map; to the head -- even for clean blocks -- in the linked
+    #: list).  Each forward costs an extra probe acquisition, which the
+    #: linked-list analytical model charges.
+    forwards: int = 0
+    writebacks: int = 0
+    sharing_writebacks: int = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_miss(
+        self,
+        klass: MissClass,
+        latency_ps: int,
+        traversals: Optional[int] = None,
+    ) -> None:
+        self.miss_latency[klass].record(latency_ps)
+        if traversals is not None and klass.is_remote:
+            self.miss_traversals.record(traversals)
+
+    def record_upgrade(
+        self,
+        latency_ps: int,
+        traversals: Optional[int] = None,
+        had_sharers: bool = False,
+    ) -> None:
+        self.upgrade_latency.record(latency_ps)
+        if had_sharers:
+            self.upgrades_with_sharers += 1
+        else:
+            self.upgrades_without_sharers += 1
+        if traversals is not None:
+            self.upgrade_traversals.record(traversals)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def total_misses(self) -> int:
+        return sum(acc.count for acc in self.miss_latency.values())
+
+    def shared_misses(self) -> int:
+        return sum(
+            acc.count for klass, acc in self.miss_latency.items() if klass.is_shared
+        )
+
+    def remote_misses(self) -> int:
+        return sum(
+            acc.count for klass, acc in self.miss_latency.items() if klass.is_remote
+        )
+
+    def mean_latency_ps(self, classes: Optional[Iterable[MissClass]] = None) -> float:
+        """Mean miss latency over the given classes (default: all)."""
+        selected = list(classes) if classes is not None else list(MissClass)
+        count = sum(self.miss_latency[klass].count for klass in selected)
+        total = sum(self.miss_latency[klass].total_ps for klass in selected)
+        return total / count if count else 0.0
+
+    def shared_miss_latency_ps(self) -> float:
+        """Mean latency over shared-data misses (the figures' metric)."""
+        return self.mean_latency_ps(
+            [klass for klass in MissClass if klass.is_shared]
+        )
+
+    def miss_class_percentages(self) -> Dict[MissClass, float]:
+        """Remote-miss breakdown as percentages (Figure 5)."""
+        remote = [klass for klass in MissClass if klass.is_remote]
+        total = sum(self.miss_latency[klass].count for klass in remote)
+        if not total:
+            return {klass: 0.0 for klass in remote}
+        return {
+            klass: 100.0 * self.miss_latency[klass].count / total
+            for klass in remote
+        }
+
+    def counts_by_class(self) -> Mapping[MissClass, int]:
+        return {klass: acc.count for klass, acc in self.miss_latency.items()}

@@ -1,0 +1,145 @@
+"""Multi-seed replication: confidence in the simulated numbers.
+
+The paper reports single trace-driven runs (its traces are fixed
+programs).  Our workloads are synthetic, so every headline number has
+seed-to-seed variation; this module quantifies it by replicating a
+simulation across seeds and summarising each metric as mean, standard
+deviation and min/max.  The benchmark assertions in ``benchmarks/``
+are written with margins informed by these spreads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import Protocol, SystemConfig
+from repro.core.experiment import DEFAULT_DATA_REFS, run_simulation
+from repro.core.results import SimulationResult
+
+__all__ = ["MetricSummary", "ReplicationReport", "replicate"]
+
+#: Default seeds (arbitrary but fixed, so reports are reproducible).
+DEFAULT_SEEDS = (1993, 7, 42, 1001, 31337)
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / spread of one metric across replications."""
+
+    name: str
+    values: "tuple[float, ...]"
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((v - mean) ** 2 for v in self.values) / (
+            len(self.values) - 1
+        )
+        return math.sqrt(variance)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    @property
+    def relative_std(self) -> float:
+        """Coefficient of variation (0 when the mean is 0)."""
+        mean = self.mean
+        return self.std / abs(mean) if mean else 0.0
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "metric": self.name,
+            "mean": round(self.mean, 4),
+            "std": round(self.std, 4),
+            "min": round(self.minimum, 4),
+            "max": round(self.maximum, 4),
+        }
+
+
+@dataclass
+class ReplicationReport:
+    """Summaries for the headline metrics of one configuration."""
+
+    benchmark: str
+    num_processors: int
+    protocol: Protocol
+    seeds: "tuple[int, ...]"
+    metrics: Dict[str, MetricSummary]
+    results: List[SimulationResult]
+
+    def summary(self, name: str) -> MetricSummary:
+        return self.metrics[name]
+
+    def rows(self) -> List[Dict[str, float]]:
+        return [summary.as_row() for summary in self.metrics.values()]
+
+
+#: Metrics summarised per replication.
+_METRICS = (
+    ("processor_utilization", lambda r: r.processor_utilization),
+    ("network_utilization", lambda r: r.network_utilization),
+    ("shared_miss_latency_ns", lambda r: r.shared_miss_latency_ns),
+    ("upgrade_latency_ns", lambda r: r.upgrade_latency_ns),
+    (
+        "shared_miss_rate_percent",
+        lambda r: r.trace.shared_miss_rate_percent,
+    ),
+)
+
+
+def replicate(
+    benchmark: str,
+    num_processors: int,
+    protocol: Protocol = Protocol.SNOOPING,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    data_refs: int = DEFAULT_DATA_REFS,
+    config: Optional[SystemConfig] = None,
+) -> ReplicationReport:
+    """Run one configuration under several seeds and summarise.
+
+    Each seed reshuffles both the synthetic reference streams and the
+    page-to-home assignment, so the spread covers workload *and*
+    placement variation.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    base = config or SystemConfig(
+        num_processors=num_processors, protocol=protocol
+    )
+    base = replace(base, num_processors=num_processors, protocol=protocol)
+    results = [
+        run_simulation(
+            benchmark,
+            config=replace(base, seed=seed),
+            data_refs=data_refs,
+            num_processors=num_processors,
+        )
+        for seed in seeds
+    ]
+    metrics = {
+        name: MetricSummary(
+            name=name, values=tuple(extract(result) for result in results)
+        )
+        for name, extract in _METRICS
+    }
+    return ReplicationReport(
+        benchmark=benchmark,
+        num_processors=num_processors,
+        protocol=protocol,
+        seeds=tuple(seeds),
+        metrics=metrics,
+        results=results,
+    )

@@ -1,0 +1,147 @@
+"""Result containers for simulations and model evaluations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.config import Protocol, SystemConfig
+from repro.core.metrics import CoherenceStats, MissClass
+from repro.traces.stats import TraceCharacteristics
+
+__all__ = ["ModelInputs", "SimulationResult", "OperatingPoint", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class ModelInputs:
+    """Per-instruction event frequencies extracted from a simulation.
+
+    This is the hand-off point of the paper's hybrid methodology
+    (section 4.0): one detailed simulation produces these frequencies,
+    and the iterative analytical models consume them to sweep processor
+    speed in milliseconds instead of hours.
+
+    All ``f_*`` fields are events **per instruction** (not per
+    thousand); multiply by 1000 for the conventional per-kilo-
+    instruction reading.
+    """
+
+    benchmark: str
+    num_processors: int
+    protocol: Protocol
+    #: Data references per instruction.
+    data_refs_per_instr: float
+    #: Miss frequencies by class, per instruction.
+    f_miss: Dict[MissClass, float]
+    #: Upgrade (pure invalidation) frequencies per instruction.
+    f_upgrade_with_sharers: float
+    f_upgrade_without_sharers: float
+    #: Background block traffic per instruction.
+    f_writeback: float
+    f_sharing_writeback: float
+    #: Message counts per instruction (ring traffic accounting).
+    f_probes: float
+    #: Subset of ``f_probes`` that swept the full ring (broadcasts).
+    f_broadcast_probes: float
+    f_blocks: float
+    #: Memory-bank accesses per instruction (for bank queueing).
+    f_memory_accesses: float
+    #: Home-forwarded requests per instruction (linked-list model).
+    f_forwards: float = 0.0
+    #: Measured mean ring traversals per remote miss / per upgrade
+    #: (captures the linked-list protocol's purge-walk tail).
+    mean_miss_traversals: float = 0.0
+    mean_upgrade_traversals: float = 0.0
+
+    @property
+    def f_upgrade(self) -> float:
+        return self.f_upgrade_with_sharers + self.f_upgrade_without_sharers
+
+    def f_miss_total(self) -> float:
+        return sum(self.f_miss.values())
+
+    def f_miss_shared(self) -> float:
+        return sum(
+            frequency
+            for klass, frequency in self.f_miss.items()
+            if klass.is_shared
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run reports."""
+
+    config: SystemConfig
+    benchmark: str
+    #: Wall-clock of the simulated execution (slowest processor).
+    elapsed_ps: int
+    #: Mean processor utilisation (busy / elapsed per processor).
+    processor_utilization: float
+    #: Ring slot utilisation or bus utilisation, per the protocol.
+    network_utilization: float
+    #: Mean latency over shared-data misses, in ns (the figures' metric).
+    shared_miss_latency_ns: float
+    #: Mean latency over all misses, in ns.
+    miss_latency_ns: float
+    #: Mean upgrade latency, in ns.
+    upgrade_latency_ns: float
+    #: Full coherence statistics.
+    stats: CoherenceStats
+    #: Table 2-style characterisation of the traces executed.
+    trace: TraceCharacteristics
+    #: Total instructions executed across processors.
+    instructions: int
+    #: Extracted analytical-model inputs.
+    inputs: ModelInputs
+
+    @property
+    def protocol(self) -> Protocol:
+        return self.config.protocol
+
+    @property
+    def mips(self) -> float:
+        return self.config.processor.mips
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One point of an analytical-model sweep."""
+
+    processor_cycle_ns: float
+    processor_utilization: float
+    network_utilization: float
+    shared_miss_latency_ns: float
+    upgrade_latency_ns: float
+    #: Execution time per instruction, ps (the model's fixed point).
+    time_per_instruction_ps: float
+
+    @property
+    def mips(self) -> float:
+        return 1000.0 / self.processor_cycle_ns
+
+
+@dataclass
+class SweepResult:
+    """A model-generated curve: metric vs processor cycle time."""
+
+    benchmark: str
+    protocol: Protocol
+    label: str
+    points: List[OperatingPoint] = field(default_factory=list)
+
+    def series(self, metric: str) -> List[float]:
+        """Extract one metric across the sweep (attribute name)."""
+        return [getattr(point, metric) for point in self.points]
+
+    def cycles_ns(self) -> List[float]:
+        return [point.processor_cycle_ns for point in self.points]
+
+    def at_cycle(self, cycle_ns: float) -> OperatingPoint:
+        """The point closest to ``cycle_ns``."""
+        if not self.points:
+            raise ValueError("empty sweep")
+        return min(
+            self.points,
+            key=lambda point: abs(point.processor_cycle_ns - cycle_ns),
+        )

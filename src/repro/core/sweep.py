@@ -1,0 +1,142 @@
+"""Pre-packaged experiment families matching the paper's figures.
+
+Each function returns the set of model sweeps one of the paper's
+figures plots, generated through the hybrid methodology.  The
+benchmark harness and the examples share these entry points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import Protocol, SystemConfig
+from repro.core.experiment import DEFAULT_DATA_REFS, run_simulation_cached
+from repro.core.hybrid import hybrid_sweep
+from repro.core.results import SimulationResult, SweepResult
+
+__all__ = [
+    "snooping_vs_directory",
+    "ring_vs_bus",
+    "miss_breakdown",
+    "FIG3_BENCHMARKS",
+    "FIG4_BENCHMARKS",
+    "FIG6_BENCHMARKS",
+]
+
+#: Figure 3 plots the three SPLASH benchmarks at 8, 16 and 32 procs.
+FIG3_BENCHMARKS: Tuple[Tuple[str, int], ...] = tuple(
+    (name, procs)
+    for name in ("mp3d", "water", "cholesky")
+    for procs in (8, 16, 32)
+)
+
+#: Figure 4 plots the MIT benchmarks at 64 processors.
+FIG4_BENCHMARKS: Tuple[Tuple[str, int], ...] = (
+    ("fft", 64),
+    ("weather", 64),
+    ("simple", 64),
+)
+
+#: Figure 6 compares rings and buses on MP3D and WATER at 8/16/32.
+FIG6_BENCHMARKS: Tuple[Tuple[str, int], ...] = tuple(
+    (name, procs) for name in ("mp3d", "water") for procs in (8, 16, 32)
+)
+
+
+def snooping_vs_directory(
+    benchmark: str,
+    num_processors: int,
+    data_refs: int = DEFAULT_DATA_REFS,
+    cycles_ns: Optional[Sequence[float]] = None,
+    config: Optional[SystemConfig] = None,
+) -> List[SweepResult]:
+    """The two curves of one Figure 3/4 panel (snooping, directory)."""
+    return [
+        hybrid_sweep(
+            benchmark,
+            num_processors,
+            protocol,
+            data_refs=data_refs,
+            cycles_ns=cycles_ns,
+            config=config,
+        )
+        for protocol in (Protocol.SNOOPING, Protocol.DIRECTORY)
+    ]
+
+
+def ring_vs_bus(
+    benchmark: str,
+    num_processors: int,
+    data_refs: int = DEFAULT_DATA_REFS,
+    cycles_ns: Optional[Sequence[float]] = None,
+    ring_clocks_mhz: Sequence[float] = (500.0, 250.0),
+    bus_clocks_mhz: Sequence[float] = (100.0, 50.0),
+) -> List[SweepResult]:
+    """The four curves of one Figure 6 panel.
+
+    32-bit rings at the given clocks and 64-bit buses at theirs, all
+    running the snooping protocol and sharing one trace extraction.
+    """
+    sweeps: List[SweepResult] = []
+    for mhz in ring_clocks_mhz:
+        base = SystemConfig(
+            num_processors=num_processors, protocol=Protocol.SNOOPING
+        )
+        config = replace(
+            base, ring=replace(base.ring, clock_ps=round(1e6 / mhz))
+        )
+        sweeps.append(
+            hybrid_sweep(
+                benchmark,
+                num_processors,
+                Protocol.SNOOPING,
+                config=config,
+                data_refs=data_refs,
+                cycles_ns=cycles_ns,
+            )
+        )
+    for mhz in bus_clocks_mhz:
+        base = SystemConfig(
+            num_processors=num_processors, protocol=Protocol.BUS
+        )
+        config = replace(
+            base, bus=replace(base.bus, clock_ps=round(1e6 / mhz))
+        )
+        sweeps.append(
+            hybrid_sweep(
+                benchmark,
+                num_processors,
+                Protocol.BUS,
+                config=config,
+                data_refs=data_refs,
+                cycles_ns=cycles_ns,
+            )
+        )
+    return sweeps
+
+
+def miss_breakdown(
+    configurations: Sequence[Tuple[str, int]],
+    data_refs: int = DEFAULT_DATA_REFS,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 5: directory-protocol remote-miss class percentages.
+
+    Returns ``{"mp3d8": {"1-cycle clean": %, "1-cycle dirty": %,
+    "2-cycle": %}, ...}`` in configuration order.
+    """
+    from repro.core.metrics import MissClass
+
+    breakdown: Dict[str, Dict[str, float]] = {}
+    for name, processors in configurations:
+        result: SimulationResult = run_simulation_cached(
+            name, processors, Protocol.DIRECTORY, data_refs=data_refs
+        )
+        percentages = result.stats.miss_class_percentages()
+        breakdown[f"{name}{processors}"] = {
+            "1-cycle clean": percentages.get(MissClass.REMOTE_CLEAN, 0.0),
+            "1-cycle dirty": percentages.get(MissClass.DIRTY_ONE_CYCLE, 0.0)
+            + percentages.get(MissClass.REMOTE_DIRTY, 0.0),
+            "2-cycle": percentages.get(MissClass.TWO_CYCLE, 0.0),
+        }
+    return breakdown

@@ -1,0 +1,135 @@
+"""Physical address layout and home-node assignment.
+
+The paper's systems distribute physical shared memory among the
+processing nodes ("a fraction of the shared memory space" per node,
+Figure 1) and allocate shared pages to nodes at random ("random
+allocation of shared memory pages among the nodes", section 4.2).  This
+module provides the address arithmetic used everywhere else:
+
+* block extraction (block = address // block_size),
+* parity (even/odd block, selecting the probe slot type and the
+  dual-directory bank),
+* home-node lookup (page-granular, pseudo-random but deterministic).
+
+Addresses are plain integers (byte addresses).  Private data is placed
+in a per-processor region whose home is the owning processor, so
+private misses never cross the interconnect's coherence machinery other
+than to fetch from local memory -- matching the paper's assumption that
+only shared references generate ring/bus coherence traffic while
+private misses still pay the memory access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.rng import substream_seed
+
+__all__ = ["AddressMap"]
+
+#: Bytes per page used for home-node interleaving.
+PAGE_SIZE = 4096
+
+#: Base byte address of the shared region.  Private regions sit below.
+SHARED_BASE = 1 << 32
+
+#: Size of each processor's private region in bytes.
+PRIVATE_REGION_SIZE = 1 << 26
+
+
+class AddressMap:
+    """Maps byte addresses to blocks, parities and home nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of processing nodes (each holds a memory partition).
+    block_size:
+        Cache block size in bytes (paper default: 16).
+    seed:
+        Seed for the pseudo-random page-to-home assignment.
+    """
+
+    def __init__(self, num_nodes: int, block_size: int = 16, seed: int = 1993) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if block_size <= 0 or block_size & (block_size - 1):
+            raise ValueError("block_size must be a positive power of two")
+        self.num_nodes = num_nodes
+        self.block_size = block_size
+        self.seed = seed
+        self._home_cache: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Address construction (used by the trace generators)
+    # ------------------------------------------------------------------
+    def private_block_address(self, node: int, block_index: int) -> int:
+        """Byte address of private block ``block_index`` of ``node``."""
+        self._check_node(node)
+        offset = block_index * self.block_size
+        if not 0 <= offset < PRIVATE_REGION_SIZE:
+            raise ValueError(f"private block index {block_index} out of range")
+        return node * PRIVATE_REGION_SIZE + offset
+
+    def shared_block_address(self, block_index: int) -> int:
+        """Byte address of shared block ``block_index``."""
+        if block_index < 0:
+            raise ValueError("shared block index must be non-negative")
+        return SHARED_BASE + block_index * self.block_size
+
+    def is_shared(self, address: int) -> bool:
+        """Whether the address falls in the shared region."""
+        return address >= SHARED_BASE
+
+    # ------------------------------------------------------------------
+    # Address decomposition
+    # ------------------------------------------------------------------
+    def block_of(self, address: int) -> int:
+        """Block number containing the byte address."""
+        return address // self.block_size
+
+    def block_address(self, address: int) -> int:
+        """Base byte address of the block containing ``address``."""
+        return (address // self.block_size) * self.block_size
+
+    def parity_of(self, address: int) -> int:
+        """0 for even-address blocks, 1 for odd (probe-slot selection)."""
+        return self.block_of(address) & 1
+
+    def page_of(self, address: int) -> int:
+        """Page number containing the byte address."""
+        return address // PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    # Home assignment
+    # ------------------------------------------------------------------
+    def home_of(self, address: int) -> int:
+        """Home node of the block containing ``address``.
+
+        Private addresses map to their owning processor.  Shared pages
+        are assigned pseudo-randomly (deterministic in the seed), which
+        is the allocation policy the paper attributes the growth of
+        remote clean misses to (section 4.2).
+        """
+        if not self.is_shared(address):
+            return (address // PRIVATE_REGION_SIZE) % self.num_nodes
+        page = self.page_of(address)
+        home = self._home_cache.get(page)
+        if home is None:
+            home = substream_seed(self.seed, page) % self.num_nodes
+            self._home_cache[page] = home
+        return home
+
+    def is_local(self, address: int, node: int) -> bool:
+        """Whether ``node`` is the home of ``address``."""
+        return self.home_of(address) == node
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AddressMap(num_nodes={self.num_nodes}, "
+            f"block_size={self.block_size}, seed={self.seed})"
+        )

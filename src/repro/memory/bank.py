@@ -1,0 +1,61 @@
+"""Per-node memory banks.
+
+The paper fixes "the time to access a local memory bank ... at 140
+nsec. for all systems" (section 4.1).  Each node owns one bank; accesses
+queue FIFO, so contention at a hot home node lengthens miss latency --
+an effect the directory protocol concentrates at homes and the snooping
+protocol spreads over owners.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.kernel import Event, Simulator
+from repro.sim.queues import FifoServer
+
+__all__ = ["MemoryBank", "MEMORY_ACCESS_PS"]
+
+#: Paper's fixed memory access time: 140 ns.
+MEMORY_ACCESS_PS = 140_000
+
+
+class MemoryBank:
+    """One node's partition of shared memory, as a FIFO single server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: int,
+        access_time: int = MEMORY_ACCESS_PS,
+    ) -> None:
+        self.node = node
+        self.access_time = access_time
+        self._server = FifoServer(sim, access_time, name=f"mem{node}")
+
+    def access(self) -> Event:
+        """Issue one access; the event fires at completion."""
+        return self._server.request()
+
+    @property
+    def requests(self) -> int:
+        return self._server.requests
+
+    def reset_statistics(self) -> None:
+        """Zero the counters (start of a measurement window)."""
+        self._server.reset_statistics()
+
+    def mean_wait(self) -> float:
+        """Average queueing delay in ps (service time excluded)."""
+        return self._server.mean_wait()
+
+    def utilization(self, elapsed: int) -> float:
+        return self._server.utilization(elapsed)
+
+
+def build_banks(sim: Simulator, num_nodes: int, access_time: int = MEMORY_ACCESS_PS) -> List[MemoryBank]:
+    """One bank per node, in node order."""
+    return [MemoryBank(sim, node, access_time) for node in range(num_nodes)]
+
+
+__all__.append("build_banks")

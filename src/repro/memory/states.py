@@ -1,0 +1,36 @@
+"""Cache-line states for the paper's three-state protocols.
+
+Both ring protocols and the bus protocol use the same write-invalidate
+write-back state machine (paper section 3.1): Invalid (INV), Read-Shared
+(RS) and Write-Exclusive (WE).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["CacheState"]
+
+
+class CacheState(enum.Enum):
+    """State of a cache line.
+
+    * ``INV`` -- not present.
+    * ``RS``  -- present read-only; other caches may also hold RS copies.
+    * ``WE``  -- present read-write; this cache is the *dirty node* and
+      owns the only valid copy (memory is stale).
+    """
+
+    INV = "invalid"
+    RS = "read-shared"
+    WE = "write-exclusive"
+
+    @property
+    def readable(self) -> bool:
+        """Whether a load hits in this state."""
+        return self is not CacheState.INV
+
+    @property
+    def writable(self) -> bool:
+        """Whether a store hits (no coherence action) in this state."""
+        return self is CacheState.WE

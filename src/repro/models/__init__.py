@@ -1,0 +1,59 @@
+"""Analytical models: the fast half of the hybrid methodology."""
+
+from repro.models.base import (
+    FixedPointDiverged,
+    LatencyBreakdown,
+    md1_wait,
+    mm1_wait,
+    slot_wait,
+    solve_time_per_instruction,
+)
+from repro.models.bus import BusModel
+from repro.models.matching import matching_bus_clock_ns, ring_target_utilization
+from repro.models.register_insertion import (
+    AccessPoint,
+    access_comparison,
+    crossover_utilization,
+    register_insertion_access_ps,
+    slotted_access_ps,
+)
+from repro.models.ring_common import RingContention, compute_contention
+from repro.models.ring_directory import DIRECTORY_SHARED_CLASSES, DirectoryRingModel
+from repro.models.ring_linkedlist import LinkedListRingModel
+from repro.models.ring_snooping import SNOOPING_SHARED_CLASSES, SnoopingRingModel
+from repro.models.snoop_rate import (
+    PAPER_TABLE3,
+    TABLE3_BLOCK_SIZES,
+    TABLE3_WIDTHS,
+    snoop_interarrival_ns,
+    snoop_rate_table,
+)
+
+__all__ = [
+    "FixedPointDiverged",
+    "LatencyBreakdown",
+    "md1_wait",
+    "mm1_wait",
+    "slot_wait",
+    "solve_time_per_instruction",
+    "BusModel",
+    "matching_bus_clock_ns",
+    "ring_target_utilization",
+    "AccessPoint",
+    "access_comparison",
+    "crossover_utilization",
+    "register_insertion_access_ps",
+    "slotted_access_ps",
+    "RingContention",
+    "compute_contention",
+    "DIRECTORY_SHARED_CLASSES",
+    "DirectoryRingModel",
+    "LinkedListRingModel",
+    "SNOOPING_SHARED_CLASSES",
+    "SnoopingRingModel",
+    "PAPER_TABLE3",
+    "TABLE3_BLOCK_SIZES",
+    "TABLE3_WIDTHS",
+    "snoop_interarrival_ns",
+    "snoop_rate_table",
+]

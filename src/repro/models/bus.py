@@ -1,0 +1,143 @@
+"""Analytical model of the split-transaction bus (section 4.3).
+
+The bus is a single FIFO server; every coherence action holds it for a
+deterministic number of bus cycles (request 2, block transfer 4 with
+the defaults -- the paper's six-cycle minimum per remote miss).
+Utilisation is the summed cycle demand; queueing delay per
+acquisition follows the M/G/1 form with deterministic-ish service.
+A remote miss arbitrates twice (request phase, then the reply after
+the memory or cache fetch).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import MissClass
+from repro.core.results import ModelInputs, OperatingPoint, SweepResult
+from repro.models.base import LatencyBreakdown, md1_wait, solve_time_per_instruction
+from repro.models.ring_snooping import make_operating_point
+
+__all__ = ["BusModel"]
+
+
+class BusModel:
+    """Iterative model producing the Figure 6 bus curves."""
+
+    def __init__(self, config: SystemConfig, inputs: ModelInputs) -> None:
+        self.config = config
+        self.inputs = inputs
+
+    # ------------------------------------------------------------------
+    # Event classes and their frequencies
+    # ------------------------------------------------------------------
+    def event_frequencies(self) -> Dict[str, float]:
+        inputs = self.inputs
+        remote_dirty = (
+            inputs.f_miss.get(MissClass.REMOTE_DIRTY, 0.0)
+            + inputs.f_miss.get(MissClass.DIRTY_ONE_CYCLE, 0.0)
+            + inputs.f_miss.get(MissClass.TWO_CYCLE, 0.0)
+        )
+        return {
+            "private": inputs.f_miss.get(MissClass.PRIVATE, 0.0),
+            "local_clean": inputs.f_miss.get(MissClass.LOCAL_CLEAN, 0.0),
+            "remote_clean": inputs.f_miss.get(MissClass.REMOTE_CLEAN, 0.0),
+            "remote_dirty": remote_dirty,
+            "upgrade": inputs.f_upgrade,
+        }
+
+    # ------------------------------------------------------------------
+    # Bus demand
+    # ------------------------------------------------------------------
+    def _bus_demand_cycles_per_instr(self) -> float:
+        """Bus cycles consumed per instruction across all transaction
+        types (misses, upgrades, write-backs, memory updates)."""
+        bus = self.config.bus
+        frequencies = self.event_frequencies()
+        remote = frequencies["remote_clean"] + frequencies["remote_dirty"]
+        return (
+            remote * (bus.request_cycles + bus.reply_cycles)
+            + frequencies["local_clean"] * bus.request_cycles
+            + frequencies["upgrade"] * bus.request_cycles
+            + (self.inputs.f_writeback + self.inputs.f_sharing_writeback)
+            * bus.writeback_cycles
+        )
+
+    # ------------------------------------------------------------------
+    # Latency model
+    # ------------------------------------------------------------------
+    def breakdown(self, time_per_instruction_ps: float) -> LatencyBreakdown:
+        config = self.config
+        bus = config.bus
+        clock = bus.clock_ps
+        processors = config.num_processors
+        rate = processors / time_per_instruction_ps  # instructions per ps
+
+        utilization = min(
+            1.0, self._bus_demand_cycles_per_instr() * clock * rate
+        )
+        # Mean bus-holding time weighted over transaction types.
+        demand = self._bus_demand_cycles_per_instr()
+        frequencies = self.event_frequencies()
+        acquisitions = (
+            2.0 * (frequencies["remote_clean"] + frequencies["remote_dirty"])
+            + frequencies["local_clean"]
+            + frequencies["upgrade"]
+            + self.inputs.f_writeback
+            + self.inputs.f_sharing_writeback
+        )
+        mean_hold = demand / acquisitions * clock if acquisitions else 0.0
+        bus_wait = md1_wait(utilization, mean_hold) if mean_hold else 0.0
+
+        access_ps = config.memory.access_ps
+        per_bank_rate = self.inputs.f_memory_accesses * rate / processors
+        bank_utilization = min(1.0, per_bank_rate * access_ps)
+        bank_wait = md1_wait(bank_utilization, access_ps)
+        bank_total = access_ps + bank_wait
+
+        request = bus.request_cycles * clock
+        reply = bus.reply_cycles * clock
+        latencies = {
+            "private": bank_total,
+            "local_clean": bank_total,
+            "remote_clean": bus_wait + request + bank_total + bus_wait + reply,
+            "remote_dirty": (
+                bus_wait
+                + request
+                + config.memory.cache_response_ps
+                + bus_wait
+                + reply
+            ),
+            "upgrade": bus_wait + request,
+        }
+        return LatencyBreakdown(
+            latencies=latencies,
+            network_utilization=utilization,
+            bank_utilization=bank_utilization,
+        )
+
+    # ------------------------------------------------------------------
+    # Operating points and sweeps
+    # ------------------------------------------------------------------
+    def solve(self, processor_cycle_ps: int) -> OperatingPoint:
+        frequencies = self.event_frequencies()
+        time_ps, breakdown = solve_time_per_instruction(
+            busy_ps_per_instr=float(processor_cycle_ps),
+            event_frequencies=frequencies,
+            model=self.breakdown,
+        )
+        return make_operating_point(
+            processor_cycle_ps, time_ps, breakdown, frequencies
+        )
+
+    def sweep(self, cycles_ns: Optional[List[float]] = None) -> SweepResult:
+        cycles = cycles_ns or [float(c) for c in range(1, 21)]
+        result = SweepResult(
+            benchmark=self.inputs.benchmark,
+            protocol=self.inputs.protocol,
+            label=f"bus {self.config.bus.clock_mhz:.0f} MHz",
+        )
+        for cycle_ns in cycles:
+            result.points.append(self.solve(round(cycle_ns * 1000)))
+        return result

@@ -1,0 +1,75 @@
+"""Bus-clock-to-match-ring solver: the paper's Table 4.
+
+For a given benchmark and processor speed, the paper asks: how fast
+must a 64-bit split-transaction bus be clocked to reach the same
+processor utilisation (equivalently, the same program execution time)
+as a 32-bit slotted ring at 250 or 500 MHz?
+
+Both sides use the snooping protocol and the same extracted event
+frequencies, so the question reduces to inverting the bus model's
+utilisation in its clock period, which is monotone: a faster bus never
+hurts.  A bisection on the bus clock period answers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.config import SystemConfig
+from repro.core.results import ModelInputs
+from repro.models.bus import BusModel
+from repro.models.ring_snooping import SnoopingRingModel
+
+__all__ = ["matching_bus_clock_ns", "ring_target_utilization"]
+
+
+def ring_target_utilization(
+    config: SystemConfig, inputs: ModelInputs, processor_cycle_ps: int
+) -> float:
+    """Processor utilisation the ring achieves at this speed."""
+    model = SnoopingRingModel(config, inputs)
+    return model.solve(processor_cycle_ps).processor_utilization
+
+
+def matching_bus_clock_ns(
+    config: SystemConfig,
+    inputs: ModelInputs,
+    processor_cycle_ps: int,
+    low_ns: float = 0.5,
+    high_ns: float = 200.0,
+    tolerance: float = 1e-3,
+    target_utilization: Optional[float] = None,
+) -> float:
+    """Bus clock period (ns) giving the ring's processor utilisation.
+
+    Returns the bisection solution in [low_ns, high_ns]; if even the
+    fastest bus considered cannot match (bus-side latency floor above
+    the ring's), ``low_ns`` is returned, and if the slowest bus already
+    matches, ``high_ns``.
+    """
+    if target_utilization is None:
+        target_utilization = ring_target_utilization(
+            config, inputs, processor_cycle_ps
+        )
+
+    def bus_utilization(clock_ns: float) -> float:
+        bus_config = replace(
+            config, bus=replace(config.bus, clock_ps=max(1, round(clock_ns * 1000)))
+        )
+        return BusModel(bus_config, inputs).solve(
+            processor_cycle_ps
+        ).processor_utilization
+
+    low, high = low_ns, high_ns
+    if bus_utilization(low) < target_utilization:
+        return low
+    if bus_utilization(high) >= target_utilization:
+        return high
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if bus_utilization(mid) >= target_utilization:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0

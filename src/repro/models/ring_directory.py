@@ -1,0 +1,171 @@
+"""Analytical model of the full-map directory slotted ring.
+
+Per-class latency structure (section 3.2 / Figure 5 of the paper):
+
+* **1-cycle clean** -- two hops (requester -> home -> requester), one
+  probe-slot wait, one block-slot wait, one memory access; total ring
+  distance is exactly one traversal.
+* **1-cycle dirty** -- three hops in one traversal: two probe-slot
+  waits (request + forward), the dirty node's cache access, and one
+  block-slot wait.  Higher than 1-cycle clean despite the equal ring
+  distance, as the paper notes.
+* **2-cycle** -- two traversals: the dirty node lies between the
+  requester and the home, or a multicast invalidation round must
+  complete before the home can reply (the memory fetch overlaps the
+  multicast; the longer of the two dominates).
+* Upgrades cost one home round plus, when other copies exist, a full
+  multicast traversal in the middle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import MissClass
+from repro.core.results import ModelInputs, OperatingPoint, SweepResult
+from repro.models.base import LatencyBreakdown, solve_time_per_instruction
+from repro.models.ring_common import compute_contention
+from repro.models.ring_snooping import make_operating_point
+
+__all__ = ["DirectoryRingModel", "DIRECTORY_SHARED_CLASSES"]
+
+#: Shared-miss class names in the directory model.
+DIRECTORY_SHARED_CLASSES = (
+    "local_clean",
+    "remote_clean",
+    "dirty_one_cycle",
+    "two_cycle",
+)
+
+
+class DirectoryRingModel:
+    """Iterative model producing the Figure 3/4 directory curves."""
+
+    def __init__(self, config: SystemConfig, inputs: ModelInputs) -> None:
+        self.config = config
+        self.inputs = inputs
+        self.layout = config.ring_layout()
+        self.topology = config.ring_topology()
+
+    # ------------------------------------------------------------------
+    # Event classes and their frequencies
+    # ------------------------------------------------------------------
+    def event_frequencies(self) -> Dict[str, float]:
+        inputs = self.inputs
+        return {
+            "private": inputs.f_miss.get(MissClass.PRIVATE, 0.0),
+            "local_clean": inputs.f_miss.get(MissClass.LOCAL_CLEAN, 0.0),
+            "remote_clean": inputs.f_miss.get(MissClass.REMOTE_CLEAN, 0.0),
+            "dirty_one_cycle": inputs.f_miss.get(
+                MissClass.DIRTY_ONE_CYCLE, 0.0
+            )
+            + inputs.f_miss.get(MissClass.REMOTE_DIRTY, 0.0),
+            "two_cycle": inputs.f_miss.get(MissClass.TWO_CYCLE, 0.0),
+            "upgrade_without": inputs.f_upgrade_without_sharers,
+            "upgrade_with": inputs.f_upgrade_with_sharers,
+        }
+
+    # ------------------------------------------------------------------
+    # Latency model
+    # ------------------------------------------------------------------
+    def breakdown(self, time_per_instruction_ps: float) -> LatencyBreakdown:
+        config = self.config
+        clock = config.ring.clock_ps
+        contention = compute_contention(
+            config, self.inputs, time_per_instruction_ps
+        )
+        ring_ps = self.topology.total_stages * clock
+        probe_drain = self.layout.probe_stages * clock
+        block_drain = self.layout.block_stages * clock
+        bank_total = config.memory.access_ps + contention.bank_wait_ps
+        lookup = config.memory.directory_lookup_ps
+        cache_response = config.memory.cache_response_ps
+        probe_wait = contention.probe_wait_ps
+        block_wait = contention.block_wait_ps
+
+        clean_one = (
+            probe_wait
+            + probe_drain
+            + lookup
+            + bank_total
+            + block_wait
+            + block_drain
+            + ring_ps
+        )
+        dirty_one = (
+            2.0 * probe_wait
+            + 2.0 * probe_drain
+            + lookup
+            + cache_response
+            + block_wait
+            + block_drain
+            + ring_ps
+        )
+        # Two traversals, a mix of two shapes with the same cost
+        # skeleton: (a) dirty node between requester and home -- three
+        # hops spanning 2S with a cache response; (b) write requiring a
+        # multicast round -- home memory overlaps the multicast (the
+        # larger dominates), and the request/reply arcs plus the
+        # multicast also span 2S.  Both reduce to two full traversals,
+        # two probe acquisitions, one block acquisition and one
+        # owner-response time; the response is averaged over the two
+        # data sources.
+        response_mix = (cache_response + bank_total) / 2.0
+        two_cycle = (
+            2.0 * probe_wait
+            + 2.0 * probe_drain
+            + lookup
+            + response_mix
+            + block_wait
+            + block_drain
+            + 2.0 * ring_ps
+        )
+        upgrade_without = (
+            2.0 * probe_wait + 2.0 * probe_drain + lookup + ring_ps
+        )
+        upgrade_with = upgrade_without + probe_wait + ring_ps
+
+        latencies = {
+            "private": bank_total,
+            "local_clean": bank_total,
+            "remote_clean": clean_one,
+            "dirty_one_cycle": dirty_one,
+            "two_cycle": two_cycle,
+            "upgrade_without": upgrade_without,
+            "upgrade_with": upgrade_with,
+        }
+        return LatencyBreakdown(
+            latencies=latencies,
+            network_utilization=contention.ring_utilization,
+            bank_utilization=contention.bank_utilization,
+        )
+
+    # ------------------------------------------------------------------
+    # Operating points and sweeps
+    # ------------------------------------------------------------------
+    def solve(self, processor_cycle_ps: int) -> OperatingPoint:
+        frequencies = self.event_frequencies()
+        time_ps, breakdown = solve_time_per_instruction(
+            busy_ps_per_instr=float(processor_cycle_ps),
+            event_frequencies=frequencies,
+            model=self.breakdown,
+        )
+        return make_operating_point(
+            processor_cycle_ps,
+            time_ps,
+            breakdown,
+            frequencies,
+            shared_names=DIRECTORY_SHARED_CLASSES,
+        )
+
+    def sweep(self, cycles_ns: Optional[List[float]] = None) -> SweepResult:
+        cycles = cycles_ns or [float(c) for c in range(1, 21)]
+        result = SweepResult(
+            benchmark=self.inputs.benchmark,
+            protocol=self.inputs.protocol,
+            label=f"directory ring {self.config.ring.clock_mhz:.0f} MHz",
+        )
+        for cycle_ns in cycles:
+            result.points.append(self.solve(round(cycle_ns * 1000)))
+        return result

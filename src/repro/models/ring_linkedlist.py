@@ -1,0 +1,86 @@
+"""Analytical model of the linked-list (SCI-style) directory ring.
+
+The paper evaluates the linked list only structurally (Table 1's
+traversal distributions); this model extends the full-map directory
+model with the linked list's two distinctive costs, parameterised by
+quantities the simulation measures:
+
+* **head forwarding on clean data** -- every miss to a *cached* block
+  goes home -> head -> requester, costing an extra probe acquisition
+  and a cache response in place of the memory access.  The measured
+  forward rate apportions this between the forwarded and home-served
+  clean misses.
+* **sequential list purges** -- invalidations walk the sharing list,
+  costing up to one traversal per sharer when the list order fights
+  the ring direction.  The measured mean upgrade traversal count (the
+  Table 1 distribution's mean) sets the ring time and the per-hop slot
+  acquisitions.
+
+Everything else (slot contention, memory banks, two-cycle dirty
+geometry) is shared with :class:`DirectoryRingModel`.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import MissClass
+from repro.models.base import LatencyBreakdown
+from repro.models.ring_common import compute_contention
+from repro.models.ring_directory import DirectoryRingModel
+
+__all__ = ["LinkedListRingModel"]
+
+
+class LinkedListRingModel(DirectoryRingModel):
+    """Directory model plus head-forwarding and purge-walk costs."""
+
+    def breakdown(self, time_per_instruction_ps: float) -> LatencyBreakdown:
+        config = self.config
+        inputs = self.inputs
+        clock = config.ring.clock_ps
+        contention = compute_contention(
+            config, inputs, time_per_instruction_ps
+        )
+        base = super().breakdown(time_per_instruction_ps)
+        latencies = dict(base.latencies)
+        probe_step = (
+            contention.probe_wait_ps + self.layout.probe_stages * clock
+        )
+        ring_ps = self.topology.total_stages * clock
+
+        # Clean misses: the forwarded share pays an extra probe hop and
+        # a cache response instead of the home's memory access.
+        f_clean = inputs.f_miss.get(MissClass.REMOTE_CLEAN, 0.0)
+        f_dirtyish = (
+            inputs.f_miss.get(MissClass.DIRTY_ONE_CYCLE, 0.0)
+            + inputs.f_miss.get(MissClass.TWO_CYCLE, 0.0)
+        )
+        clean_forwards = max(0.0, inputs.f_forwards - f_dirtyish)
+        forward_share = (
+            min(1.0, clean_forwards / f_clean) if f_clean > 0.0 else 0.0
+        )
+        bank_total = config.memory.access_ps + contention.bank_wait_ps
+        response_delta = config.memory.cache_response_ps - bank_total
+        latencies["remote_clean"] = base.latencies["remote_clean"] + (
+            forward_share * (probe_step + response_delta)
+        )
+
+        # Upgrades: a purge walk of mean ``T`` traversals needs about
+        # one probe acquisition per wrap plus the wire time, after the
+        # initial pointer round to the home.
+        traversals = max(1.0, inputs.mean_upgrade_traversals)
+        purge = (traversals - 1.0) * (probe_step + ring_ps)
+        latencies["upgrade_with"] = (
+            base.latencies["upgrade_without"] + probe_step + purge + ring_ps
+        )
+        return LatencyBreakdown(
+            latencies=latencies,
+            network_utilization=base.network_utilization,
+            bank_utilization=base.bank_utilization,
+        )
+
+    def sweep(self, cycles_ns=None):
+        result = super().sweep(cycles_ns)
+        result.label = (
+            f"linked-list ring {self.config.ring.clock_mhz:.0f} MHz"
+        )
+        return result

@@ -1,0 +1,172 @@
+"""Analytical model of the snooping slotted ring.
+
+Latency structure (section 3.1 of the paper): a shared miss waits for
+a free probe slot, the probe sweeps the ring past the owner, the owner
+fetches the block (memory at the home when clean, cache/write-back
+buffer at the dirty node), waits for a free block slot, and the block
+travels back to the requester.  The probe leg plus the block leg sum
+to exactly one ring traversal regardless of node positions -- the UMA
+property -- so every remote miss shares one latency formula.
+
+Pure invalidations complete when the owner's acknowledgment returns in
+the following probe slot of the same type (one traversal plus one
+frame).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import MissClass
+from repro.core.results import ModelInputs, OperatingPoint, SweepResult
+from repro.models.base import LatencyBreakdown, solve_time_per_instruction
+from repro.models.ring_common import compute_contention
+
+__all__ = ["SnoopingRingModel"]
+
+
+class SnoopingRingModel:
+    """Iterative model producing the paper's Figure 3/4 ring curves."""
+
+    def __init__(self, config: SystemConfig, inputs: ModelInputs) -> None:
+        self.config = config
+        self.inputs = inputs
+        self.layout = config.ring_layout()
+        self.topology = config.ring_topology()
+
+    # ------------------------------------------------------------------
+    # Event classes and their frequencies
+    # ------------------------------------------------------------------
+    def event_frequencies(self) -> Dict[str, float]:
+        inputs = self.inputs
+        return {
+            "private": inputs.f_miss.get(MissClass.PRIVATE, 0.0),
+            "local_clean": inputs.f_miss.get(MissClass.LOCAL_CLEAN, 0.0),
+            "remote_clean": inputs.f_miss.get(MissClass.REMOTE_CLEAN, 0.0),
+            "remote_dirty": inputs.f_miss.get(MissClass.REMOTE_DIRTY, 0.0)
+            + inputs.f_miss.get(MissClass.DIRTY_ONE_CYCLE, 0.0)
+            + inputs.f_miss.get(MissClass.TWO_CYCLE, 0.0),
+            "upgrade": inputs.f_upgrade,
+        }
+
+    # ------------------------------------------------------------------
+    # Latency model
+    # ------------------------------------------------------------------
+    def breakdown(self, time_per_instruction_ps: float) -> LatencyBreakdown:
+        config = self.config
+        clock = config.ring.clock_ps
+        contention = compute_contention(
+            config, self.inputs, time_per_instruction_ps
+        )
+        ring_ps = self.topology.total_stages * clock
+        probe_drain = self.layout.probe_stages * clock
+        block_drain = self.layout.block_stages * clock
+        frame_ps = self.layout.frame_stages * clock
+        bank_total = config.memory.access_ps + contention.bank_wait_ps
+
+        remote_base = (
+            contention.probe_wait_ps
+            + probe_drain
+            + ring_ps
+            + contention.block_wait_ps
+            + block_drain
+        )
+        latencies = {
+            "private": bank_total,
+            "local_clean": bank_total,
+            "remote_clean": remote_base + bank_total,
+            "remote_dirty": remote_base + config.memory.cache_response_ps,
+            "upgrade": contention.probe_wait_ps + ring_ps + frame_ps + probe_drain,
+        }
+        return LatencyBreakdown(
+            latencies=latencies,
+            network_utilization=contention.ring_utilization,
+            bank_utilization=contention.bank_utilization,
+        )
+
+    # ------------------------------------------------------------------
+    # Operating points and sweeps
+    # ------------------------------------------------------------------
+    def solve(self, processor_cycle_ps: int) -> OperatingPoint:
+        """Fixed point at one processor speed."""
+        frequencies = self.event_frequencies()
+        time_ps, breakdown = solve_time_per_instruction(
+            busy_ps_per_instr=float(processor_cycle_ps),
+            event_frequencies=frequencies,
+            model=self.breakdown,
+        )
+        return _operating_point(
+            processor_cycle_ps, time_ps, breakdown, frequencies
+        )
+
+    def sweep(self, cycles_ns: "list[float]" = None) -> SweepResult:
+        """Model curves across processor cycle times (default 1-20 ns,
+        the paper's x-axis)."""
+        cycles = cycles_ns or [float(c) for c in range(1, 21)]
+        result = SweepResult(
+            benchmark=self.inputs.benchmark,
+            protocol=self.inputs.protocol,
+            label=f"snooping ring {self.config.ring.clock_mhz:.0f} MHz",
+        )
+        for cycle_ns in cycles:
+            result.points.append(self.solve(round(cycle_ns * 1000)))
+        return result
+
+
+#: Shared-miss class names in the snooping model.
+SNOOPING_SHARED_CLASSES = ("local_clean", "remote_clean", "remote_dirty")
+
+
+def _operating_point(
+    cycle_ps: int,
+    time_ps: float,
+    breakdown: LatencyBreakdown,
+    frequencies: Dict[str, float],
+    shared_names: "tuple[str, ...]" = SNOOPING_SHARED_CLASSES,
+) -> OperatingPoint:
+    """Package a solved fixed point, with the shared-miss latency
+    averaged over the shared miss classes (the figures' metric)."""
+    weights = [(name, frequencies.get(name, 0.0)) for name in shared_names]
+    total = sum(weight for _, weight in weights)
+    if total > 0.0:
+        shared_latency = (
+            sum(breakdown.latencies[name] * weight for name, weight in weights)
+            / total
+        )
+    else:
+        shared_latency = 0.0
+    upgrade_names = [
+        name for name in breakdown.latencies if name.startswith("upgrade")
+    ]
+    upgrade_weights = [
+        (name, frequencies.get(name, 0.0)) for name in upgrade_names
+    ]
+    upgrade_total = sum(weight for _, weight in upgrade_weights)
+    if upgrade_total > 0.0:
+        upgrade_latency = (
+            sum(
+                breakdown.latencies[name] * weight
+                for name, weight in upgrade_weights
+            )
+            / upgrade_total
+        )
+    elif upgrade_names:
+        upgrade_latency = sum(
+            breakdown.latencies[name] for name in upgrade_names
+        ) / len(upgrade_names)
+    else:
+        upgrade_latency = 0.0
+    return OperatingPoint(
+        processor_cycle_ns=cycle_ps / 1000.0,
+        processor_utilization=cycle_ps / time_ps,
+        network_utilization=breakdown.network_utilization,
+        shared_miss_latency_ns=shared_latency / 1000.0,
+        upgrade_latency_ns=upgrade_latency / 1000.0,
+        time_per_instruction_ps=time_ps,
+    )
+
+
+#: Shared helper reused by the directory and bus models.
+make_operating_point = _operating_point
+__all__.append("make_operating_point")

@@ -1,0 +1,5 @@
+"""Trace-driven processor models."""
+
+from repro.proc.processor import ProcessorCounters, TraceProcessor
+
+__all__ = ["ProcessorCounters", "TraceProcessor"]

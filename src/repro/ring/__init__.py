@@ -1,0 +1,40 @@
+"""The slotted-ring interconnect and its three coherence protocols."""
+
+from repro.ring.base import ProtocolError, RingSystemBase
+from repro.ring.directory import DirectoryRingSystem
+from repro.ring.hierarchical import HierarchicalRingSystem
+from repro.ring.linkedlist import LinkedListRingSystem
+from repro.ring.messages import BlockKind, BlockMessage, Probe, ProbeKind
+from repro.ring.scheduler import CirculatingSlot, SlotGrant, SlotScheduler
+from repro.ring.slots import (
+    BLOCK_HEADER_BYTES,
+    PROBE_PAYLOAD_BYTES,
+    FrameLayout,
+    SlotType,
+    stages_for_bytes,
+)
+from repro.ring.snooping import SnoopingRingSystem
+from repro.ring.topology import STAGES_PER_NODE, RingTopology
+
+__all__ = [
+    "ProtocolError",
+    "RingSystemBase",
+    "DirectoryRingSystem",
+    "HierarchicalRingSystem",
+    "LinkedListRingSystem",
+    "SnoopingRingSystem",
+    "BlockKind",
+    "BlockMessage",
+    "Probe",
+    "ProbeKind",
+    "CirculatingSlot",
+    "SlotGrant",
+    "SlotScheduler",
+    "BLOCK_HEADER_BYTES",
+    "PROBE_PAYLOAD_BYTES",
+    "FrameLayout",
+    "SlotType",
+    "stages_for_bytes",
+    "STAGES_PER_NODE",
+    "RingTopology",
+]

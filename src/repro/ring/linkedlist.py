@@ -1,0 +1,342 @@
+"""SCI-style linked-list directory protocol (paper §3.2, Table 1).
+
+The home node keeps only a pointer to the **head** of a distributed
+sharing list; the head is responsible for supplying data and for
+coherence.  Compared with the full map, the paper highlights three
+structural costs, all reproduced here:
+
+* every miss to a *cached* block is forwarded home -> head even when
+  the block is clean, so the 2-traversal fraction grows;
+* invalidations **walk the sharing list node by node**, so when the
+  list order conflicts with the ring direction an invalidation can
+  need up to one traversal per sharer (the paper's "n traversals for a
+  block shared by n nodes" worst case and the 3+ bucket of Table 1);
+* replacements are not silent: a victim must roll out of its sharing
+  list.  Clean rollouts proceed in the background, but a *dirty*
+  victim's rollout serialises ahead of the miss, which produces the
+  small 3+ tail in the miss distribution.
+
+The sharing list is stored centrally per block for simulation
+convenience (state-equivalent to the distributed pointers); the
+*traversal cost* of walking the distributed list is what matters and
+is charged arc by arc.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.config import Protocol, SystemConfig
+from repro.core.metrics import MissClass
+from repro.memory.cache import AccessOutcome
+from repro.memory.directory_store import LinkedListDirectory
+from repro.memory.states import CacheState
+from repro.ring.base import ProtocolError, RingSystemBase, Step
+from repro.sim.kernel import Simulator
+
+__all__ = ["LinkedListRingSystem"]
+
+
+class LinkedListRingSystem(RingSystemBase):
+    """SCI-flavoured linked-list directory on the slotted ring."""
+
+    protocol = Protocol.LINKED_LIST
+
+    def __init__(self, sim: Simulator, config: SystemConfig) -> None:
+        super().__init__(sim, config)
+        self.directories: List[LinkedListDirectory] = [
+            LinkedListDirectory(self.num_nodes) for _ in range(self.num_nodes)
+        ]
+
+    def directory_for(self, address: int) -> LinkedListDirectory:
+        return self.directories[self.address_map.home_of(address)]
+
+    def dirty_hint(self, address: int) -> bool:
+        entry = self.directory_for(address).peek(
+            self.address_map.block_of(address)
+        )
+        return entry is not None and entry.dirty
+
+    def owned_by(self, address: int, node: int) -> bool:
+        entry = self.directory_for(address).peek(
+            self.address_map.block_of(address)
+        )
+        return entry is not None and entry.dirty and entry.head == node
+
+    # ------------------------------------------------------------------
+    # Transaction body
+    # ------------------------------------------------------------------
+    def transact(
+        self, node: int, address: int, outcome: AccessOutcome, start_ps: int
+    ) -> Step:
+        if not self.address_map.is_shared(address):
+            yield from self.private_miss(
+                node, address, outcome is not AccessOutcome.READ_MISS, start_ps
+            )
+            return
+        if outcome is AccessOutcome.UPGRADE:
+            yield from self._upgrade(node, address, start_ps)
+        else:
+            yield from self._miss(
+                node, address, outcome is AccessOutcome.WRITE_MISS, start_ps
+            )
+
+    # ------------------------------------------------------------------
+    # Misses
+    # ------------------------------------------------------------------
+    def _miss(
+        self, node: int, address: int, is_write: bool, start_ps: int
+    ) -> Step:
+        block = self.address_map.block_of(address)
+        home = self.address_map.home_of(address)
+        directory = self.directories[home]
+        entry = directory.entry(block)
+
+        if entry.dirty and entry.head == node:
+            # The block sits in this node's own write-back buffer.
+            yield from self._reclaim_from_buffer(node, address, is_write, start_ps)
+            return
+        if node in entry.chain:
+            # Stale listing: the node's RS copy was replaced and the
+            # background detach has not landed yet; merge it now.
+            directory.remove_sharer(block, node)
+
+        # Snapshot the sharing list before the first yield: read misses
+        # run under a shared lock, so concurrent readers may prepend
+        # themselves (or commit a dirty->shared transition) while this
+        # transaction is in flight.
+        head = entry.head
+        dirty = entry.dirty
+        chain_snapshot = [sharer for sharer in entry.chain if sharer != node]
+
+        arcs = yield from self._rollout_victim(node, address)
+
+        if home != node:
+            yield from self.send_probe(node, home, address)
+            arcs += self.topology.distance(node, home)
+        if self.config.memory.directory_lookup_ps:
+            yield self.sim.timeout(self.config.memory.directory_lookup_ps)
+
+        if head is None:
+            # Uncached: the home supplies from memory.
+            yield self.banks[home].access()
+            if home != node:
+                yield from self.send_block(home, node)
+                arcs += self.topology.distance(home, node)
+        else:
+            # Cached (clean or dirty): home forwards to the head, which
+            # supplies the block -- this is the forwarding the paper
+            # charges one or two traversals for.
+            if head != home:
+                yield from self.send_probe(home, head, address)
+                arcs += self.topology.distance(home, head)
+                self.stats.forwards += 1
+            yield self.sim.timeout(self.config.memory.cache_response_ps)
+            yield from self.send_block(head, node)
+            arcs += self.topology.distance(head, node)
+
+        if is_write:
+            if dirty and head is not None:
+                # Single dirty owner: invalidated by the forward itself.
+                self.caches[head].snoop_invalidate(address)
+            elif chain_snapshot:
+                arcs += yield from self._purge_walk(node, address, chain_snapshot)
+            directory.set_exclusive(block, node)
+            self.fill(node, address, CacheState.WE)
+        else:
+            if dirty and head is not None:
+                # Gated commit: one of the concurrent readers issues
+                # the downgrade's memory update.
+                self.caches[head].snoop_downgrade(address)
+                if directory.entry(block).dirty:
+                    directory.entry(block).dirty = False
+                    self.sim.spawn(
+                        self._sharing_writeback(head, block),
+                        name=f"swb:n{head}",
+                    )
+            directory.prepend_sharer(block, node)
+            self.fill(node, address, CacheState.RS)
+
+        self._record_miss(dirty and head is not None, arcs, start_ps)
+
+    def _reclaim_from_buffer(
+        self, node: int, address: int, is_write: bool, start_ps: int
+    ) -> Step:
+        """Re-acquire a block pending in the local write-back buffer."""
+        block = self.address_map.block_of(address)
+        directory = self.directory_for(address)
+        yield from self._rollout_victim(node, address)
+        yield self.sim.timeout(self.config.memory.cache_response_ps)
+        if is_write:
+            directory.set_exclusive(block, node)
+            self.fill(node, address, CacheState.WE)
+        else:
+            entry = directory.entry(block)
+            entry.dirty = False
+            directory.prepend_sharer(block, node)
+            self.sim.spawn(
+                self._sharing_writeback(node, block), name=f"swb:n{node}"
+            )
+            self.fill(node, address, CacheState.RS)
+        self.stats.record_miss(MissClass.LOCAL_CLEAN, self.sim.now - start_ps)
+
+    # ------------------------------------------------------------------
+    # Upgrades
+    # ------------------------------------------------------------------
+    def _upgrade(self, node: int, address: int, start_ps: int) -> Step:
+        block = self.address_map.block_of(address)
+        home = self.address_map.home_of(address)
+        directory = self.directories[home]
+        entry = directory.entry(block)
+        if entry.dirty:
+            raise ProtocolError(f"upgrade of {block:#x} while dirty")
+
+        arcs = 0
+        # Become the head / learn the current list: one probe round to
+        # the home.
+        if home != node:
+            yield from self.send_probe(node, home, address)
+            yield from self.send_probe(home, node, address)
+            arcs += self.topology.total_stages
+        others = [sharer for sharer in entry.chain if sharer != node]
+        if others:
+            arcs += yield from self._purge_walk(node, address, others)
+        directory.set_exclusive(block, node)
+        self.commit_upgrade(node, address)
+
+        traversals = arcs // self.topology.total_stages
+        self.stats.record_upgrade(
+            self.sim.now - start_ps,
+            traversals=traversals if traversals else None,
+            had_sharers=bool(others),
+        )
+
+    # ------------------------------------------------------------------
+    # List walking
+    # ------------------------------------------------------------------
+    def _purge_walk(self, node: int, address: int, chain: List[int]) -> Step:
+        """Invalidate the sharing list by walking it in list order.
+
+        The purge probe hops node -> chain[0] -> chain[1] -> ... and
+        the last sharer acknowledges back to ``node``.  The closed
+        circuit costs a whole number of ring traversals: exactly one
+        when the list happens to be ordered along the ring, up to one
+        per sharer when it is adversarially ordered.  Returns the arcs
+        travelled.
+        """
+        arcs = 0
+        position = node
+        for sharer in chain:
+            if sharer == position:
+                raise ProtocolError("sharing list contains duplicates")
+            yield from self.send_probe(position, sharer, address)
+            arcs += self.topology.distance(position, sharer)
+            self.caches[sharer].snoop_invalidate(address)
+            position = sharer
+        yield from self.send_probe(position, node, address)
+        arcs += self.topology.distance(position, node)
+        return arcs
+
+    # ------------------------------------------------------------------
+    # Replacement rollout
+    # ------------------------------------------------------------------
+    def _rollout_victim(self, node: int, address: int) -> Step:
+        """Evict the fill's victim, rolling it out of its sharing list.
+
+        Dirty victims serialise a detach round to the victim's home
+        ahead of the miss (the frame cannot be reused until the list is
+        consistent); clean victims detach in the background.  Returns
+        the arcs charged to the miss.
+        """
+        victim = self.caches[node].victim_for(address)
+        if victim is None:
+            return 0
+        victim_address, state = victim
+        self.caches[node].evict(victim_address)
+        arcs = 0
+        if state is CacheState.WE:
+            self.caches[node].stats.writebacks += 1
+            if self.address_map.is_shared(victim_address):
+                victim_home = self.address_map.home_of(victim_address)
+                if victim_home != node:
+                    yield from self.send_probe(node, victim_home, victim_address)
+                    yield from self.send_probe(victim_home, node, victim_address)
+                    arcs += self.topology.total_stages
+            self.sim.spawn(
+                self.writeback(node, victim_address), name=f"wb:n{node}"
+            )
+        else:
+            self.on_clean_eviction(node, victim_address)
+        return arcs
+
+    def on_clean_eviction(self, node: int, address: int) -> None:
+        """Background detach of an RS victim from its sharing list."""
+        if not self.address_map.is_shared(address):
+            return
+        self.sim.spawn(
+            self._background_detach(node, address), name=f"detach:n{node}"
+        )
+
+    def _background_detach(self, node: int, address: int) -> Step:
+        block = self.address_map.block_of(address)
+        home = self.address_map.home_of(address)
+        if home != node:
+            arrival = yield from self.send_probe(node, home, address)
+            yield from self.wait_until_cycle(arrival)
+        self.directories[home].remove_sharer(block, node)
+
+    # ------------------------------------------------------------------
+    # Background block traffic
+    # ------------------------------------------------------------------
+    def writeback(self, node: int, address: int) -> Step:
+        if not self.address_map.is_shared(address):
+            yield self.banks[node].access()
+            return
+        block = self.address_map.block_of(address)
+        home = self.address_map.home_of(address)
+        directory = self.directories[home]
+        lock = self.block_lock(block)
+        yield lock.acquire(exclusive=True)
+        try:
+            entry = directory.peek(block)
+            if entry is None or not entry.dirty or entry.head != node:
+                return
+            if self.caches[node].contains(address):
+                return  # the node reclaimed the block from its buffer
+            if home != node:
+                arrival = yield from self.send_block(node, home)
+                yield from self.wait_until_cycle(arrival)
+            yield self.banks[home].access()
+            directory.clear(block)
+            self.stats.writebacks += 1
+        finally:
+            lock.release()
+
+    def _sharing_writeback(self, owner: int, block: int) -> Step:
+        address = block * self.config.block_size
+        home = self.address_map.home_of(address)
+        if home != owner:
+            arrival = yield from self.send_block(owner, home)
+            yield from self.wait_until_cycle(arrival)
+        yield self.banks[home].access()
+        self.stats.sharing_writebacks += 1
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _record_miss(self, dirty: bool, arcs: int, start_ps: int) -> None:
+        latency = self.sim.now - start_ps
+        total = self.topology.total_stages
+        if arcs % total:
+            raise ProtocolError(
+                f"transaction arcs {arcs} not a multiple of ring size {total}"
+            )
+        traversals = arcs // total
+        if traversals == 0:
+            self.stats.record_miss(MissClass.LOCAL_CLEAN, latency)
+        elif traversals >= 2:
+            self.stats.record_miss(MissClass.TWO_CYCLE, latency, traversals)
+        elif dirty:
+            self.stats.record_miss(MissClass.DIRTY_ONE_CYCLE, latency, traversals)
+        else:
+            self.stats.record_miss(MissClass.REMOTE_CLEAN, latency, traversals)

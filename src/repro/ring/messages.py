@@ -1,0 +1,73 @@
+"""Message types travelling on the ring.
+
+Two message kinds exist in a cache-coherent slotted ring (paper
+section 2): short **probes** (miss and invalidation requests) and
+**block messages** (header + cache block, for miss replies and
+write-backs).  These records exist for protocol clarity and for the
+traffic statistics; the slot scheduler only cares about occupancy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ProbeKind", "BlockKind", "Probe", "BlockMessage"]
+
+
+class ProbeKind(enum.Enum):
+    """What a probe asks for."""
+
+    READ_MISS = "read-miss"
+    WRITE_MISS = "write-miss"
+    #: Permission upgrade for a block already held RS (paper footnote 1).
+    INVALIDATION = "invalidation"
+    #: Directory-protocol home-to-dirty-node forwarding.
+    FORWARD = "forward"
+    #: Directory-protocol multicast invalidation issued by the home.
+    MULTICAST_INVALIDATE = "multicast-invalidate"
+    #: Linked-list protocol: pointer / detach traffic.
+    LIST_POINTER = "list-pointer"
+    #: Linked-list protocol: purge walking the sharing list.
+    LIST_PURGE = "list-purge"
+    #: Acknowledgment probe (directory reply without data).
+    ACK = "ack"
+
+
+class BlockKind(enum.Enum):
+    """What a block message carries the block for."""
+
+    MISS_REPLY = "miss-reply"
+    WRITE_BACK = "write-back"
+    #: Memory update when a dirty block is downgraded to shared.
+    SHARING_WRITEBACK = "sharing-writeback"
+
+
+@dataclass(frozen=True)
+class Probe:
+    """A short request message.
+
+    ``dst`` is ``None`` for broadcast probes (snooping protocol and
+    multicast invalidations), which traverse the full ring and are
+    removed by their source.
+    """
+
+    kind: ProbeKind
+    address: int
+    src: int
+    dst: Optional[int] = None
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst is None
+
+
+@dataclass(frozen=True)
+class BlockMessage:
+    """A header plus one cache block."""
+
+    kind: BlockKind
+    address: int
+    src: int
+    dst: int

@@ -1,0 +1,264 @@
+"""Event-driven slot scheduler for the slotted ring.
+
+Simulating every latch of the circular pipeline on every ring clock
+would be exact but needlessly slow.  Because slots advance exactly one
+stage per cycle, the arrival times of any slot at any node are pure
+arithmetic: slot *k* with initial head position ``h_k`` has its head at
+stage ``(h_k + t) mod S`` at cycle *t*, so it passes the node at stage
+``p`` exactly when ``t ≡ (p - h_k) (mod S)``.  The scheduler exploits
+this to wake a sender only at true slot-arrival instants, which makes
+the simulation event count proportional to messages, not cycles, while
+remaining cycle-exact for every quantity the paper reports.
+
+Occupancy semantics
+-------------------
+A message in a slot occupies it from the grab cycle until the cycle
+the removing node's stage sees the head again:
+
+* unicast (directory requests, block messages): ``distance(src, dst)``
+  cycles -- the destination strips the message, so downstream nodes
+  see a free slot;
+* broadcast (snooping probes, multicast invalidations): one full
+  traversal -- the source removes its own probe after it has been
+  snooped everywhere.
+
+The anti-starvation rule of section 5 -- "preventing a node from
+reusing a message slot immediately after removing a message from that
+slot" -- is enforced by default and can be disabled for the fairness
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.sim.kernel import Simulator
+from repro.ring.slots import FrameLayout, SlotType
+from repro.ring.topology import RingTopology
+
+__all__ = ["CirculatingSlot", "SlotGrant", "SlotScheduler"]
+
+
+@dataclass
+class CirculatingSlot:
+    """One physical slot instance circulating on the ring."""
+
+    slot_type: SlotType
+    index: int
+    #: Stage where this slot's head sat at cycle 0.
+    initial_head: int
+    #: First cycle at which the slot is free again.
+    free_at_cycle: int = 0
+    #: Node that most recently removed a message from this slot
+    #: (it may not immediately reuse the slot -- anti-starvation rule).
+    freed_by: Optional[int] = None
+    #: Total cycles this slot has spent occupied (statistics).
+    busy_cycles: int = 0
+    #: Number of messages this slot has carried (statistics).
+    grabs: int = 0
+
+
+@dataclass(frozen=True)
+class SlotGrant:
+    """Result of a successful slot acquisition."""
+
+    slot: CirculatingSlot
+    #: Ring cycle at which the slot head was at the sender (grab time).
+    grab_cycle: int
+    #: Ring cycle at which the slot becomes free (message removed).
+    release_cycle: int
+
+    @property
+    def occupancy(self) -> int:
+        return self.release_cycle - self.grab_cycle
+
+
+class SlotScheduler:
+    """Grants slots to senders and tracks occupancy statistics."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: RingTopology,
+        layout: FrameLayout,
+        clock_ps: int,
+        enforce_fairness: bool = True,
+    ) -> None:
+        if clock_ps <= 0:
+            raise ValueError("clock_ps must be positive")
+        self.sim = sim
+        self.topology = topology
+        self.layout = layout
+        self.clock_ps = clock_ps
+        self.enforce_fairness = enforce_fairness
+        self._slots: Dict[SlotType, List[CirculatingSlot]] = {
+            SlotType.PROBE_EVEN: [],
+            SlotType.PROBE_ODD: [],
+            SlotType.BLOCK: [],
+        }
+        self._build_slots()
+        #: (messages, slot-cycles) granted per type, for utilisation.
+        self.granted_cycles: Dict[SlotType, int] = {t: 0 for t in SlotType}
+        self.granted_messages: Dict[SlotType, int] = {t: 0 for t in SlotType}
+        #: Cycles senders spent waiting for a free slot, per type.
+        self.wait_cycles: Dict[SlotType, int] = {t: 0 for t in SlotType}
+
+    def _build_slots(self) -> None:
+        offsets = self.layout.slot_offsets()
+        for frame in range(self.topology.num_frames):
+            base = frame * self.layout.frame_stages
+            for slot_type, offset in offsets:
+                slots = self._slots[slot_type]
+                slots.append(
+                    CirculatingSlot(
+                        slot_type=slot_type,
+                        index=len(slots),
+                        initial_head=(base + offset) % self.topology.total_stages,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Time arithmetic
+    # ------------------------------------------------------------------
+    def cycle_to_ps(self, cycle: int) -> int:
+        return cycle * self.clock_ps
+
+    def ps_to_next_cycle(self, ps: int) -> int:
+        """First ring cycle boundary at or after ``ps``."""
+        return -(-ps // self.clock_ps)
+
+    def slots_of(self, slot_type: SlotType) -> List[CirculatingSlot]:
+        return self._slots[slot_type]
+
+    def next_arrival(
+        self, slot: CirculatingSlot, node_stage: int, not_before: int
+    ) -> int:
+        """First cycle >= ``not_before`` the slot head is at the stage."""
+        total = self.topology.total_stages
+        base = (node_stage - slot.initial_head) % total
+        if base >= not_before:
+            return base
+        revolutions = -(-(not_before - base) // total)
+        return base + revolutions * total
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        node: int,
+        slot_type: SlotType,
+        occupancy_cycles: int,
+        removed_by: Optional[int] = None,
+    ) -> Generator[Any, Any, SlotGrant]:
+        """Process body: wait for and grab a free slot of ``slot_type``.
+
+        ``occupancy_cycles`` is how long the message keeps the slot
+        busy (unicast: distance to destination; broadcast: the full
+        ring).  ``removed_by`` is the node that will strip the message
+        -- it becomes subject to the anti-starvation rule.
+
+        Yields kernel timeouts; returns a :class:`SlotGrant`.
+        """
+        if occupancy_cycles <= 0:
+            raise ValueError("occupancy_cycles must be positive")
+        stage = self.topology.node_stage(node)
+        slots = self._slots[slot_type]
+        start_cycle = self.ps_to_next_cycle(self.sim.now)
+        search_from = start_cycle
+        while True:
+            arrival, slot = min(
+                (self.next_arrival(candidate, stage, search_from), candidate)
+                for candidate in slots
+            )
+            now_cycle = self.ps_to_next_cycle(self.sim.now)
+            if arrival > now_cycle:
+                yield self.sim.timeout(
+                    self.cycle_to_ps(arrival) - self.sim.now
+                )
+            if self._grabbable(slot, node, arrival):
+                release = arrival + occupancy_cycles
+                slot.free_at_cycle = release
+                slot.freed_by = removed_by
+                slot.busy_cycles += occupancy_cycles
+                slot.grabs += 1
+                self.granted_cycles[slot_type] += occupancy_cycles
+                self.granted_messages[slot_type] += 1
+                self.wait_cycles[slot_type] += arrival - start_cycle
+                return SlotGrant(
+                    slot=slot, grab_cycle=arrival, release_cycle=release
+                )
+            search_from = arrival + 1
+
+    def _grabbable(self, slot: CirculatingSlot, node: int, cycle: int) -> bool:
+        if cycle < slot.free_at_cycle:
+            return False
+        if (
+            self.enforce_fairness
+            and slot.freed_by == node
+            and cycle == slot.free_at_cycle
+        ):
+            # The node just removed a message from this very slot as it
+            # passed; it must let the slot go by once (section 5).
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Derived timing helpers used by the protocol engines
+    # ------------------------------------------------------------------
+    def transfer_cycles(self, slot_type: SlotType, src: int, dst: int) -> int:
+        """Cycles from grab until the *tail* is received at ``dst``."""
+        return self.topology.distance(src, dst) + self.layout.stages_of(slot_type)
+
+    def broadcast_cycles(self) -> int:
+        """Cycles for a broadcast probe to return to its source."""
+        return self.topology.total_stages
+
+    def ack_delay_cycles(self) -> int:
+        """Extra cycles until the snooping ack returns to the requester.
+
+        The owner acknowledges in the *following* probe slot of the
+        same type (section 3.1), which trails the probe by one frame.
+        """
+        return self.layout.frame_stages
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def utilization(self, slot_type: SlotType, elapsed_ps: int) -> float:
+        """Fraction of slot-cycles of a type that carried messages."""
+        if elapsed_ps <= 0:
+            return 0.0
+        cycles = elapsed_ps // self.clock_ps
+        capacity = len(self._slots[slot_type]) * cycles
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self.granted_cycles[slot_type] / capacity)
+
+    def aggregate_utilization(self, elapsed_ps: int) -> float:
+        """Stage-weighted average slot utilisation (the paper's 'ring
+        utilisation' metric)."""
+        if elapsed_ps <= 0:
+            return 0.0
+        total_weight = 0
+        weighted = 0.0
+        for slot_type, slots in self._slots.items():
+            weight = len(slots) * self.layout.stages_of(slot_type)
+            total_weight += weight
+            weighted += self.utilization(slot_type, elapsed_ps) * weight
+        return weighted / total_weight if total_weight else 0.0
+
+    def reset_statistics(self) -> None:
+        """Zero the grant/wait counters (start of a measurement window)."""
+        for slot_type in SlotType:
+            self.granted_cycles[slot_type] = 0
+            self.granted_messages[slot_type] = 0
+            self.wait_cycles[slot_type] = 0
+
+    def mean_wait_cycles(self, slot_type: SlotType) -> float:
+        """Average cycles senders waited for a slot of this type."""
+        messages = self.granted_messages[slot_type]
+        if not messages:
+            return 0.0
+        return self.wait_cycles[slot_type] / messages

@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate (the paper's CSIM substitute).
+
+Exports the process-oriented kernel plus the queueing primitives the
+ring, bus and memory models are built from.
+"""
+
+from repro.sim.kernel import Event, Process, SimulationError, Simulator, Timeout
+from repro.sim.queues import FifoServer, Resource, Store
+from repro.sim.rng import DeterministicRng, substream_seed, zipf_cumulative_weights
+
+__all__ = [
+    "Event",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "FifoServer",
+    "Resource",
+    "Store",
+    "DeterministicRng",
+    "substream_seed",
+    "zipf_cumulative_weights",
+]

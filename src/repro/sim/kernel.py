@@ -1,0 +1,235 @@
+"""Process-oriented discrete-event simulation kernel.
+
+This module is the reproduction's substitute for the CSIM package the
+paper used (Schwetman, "CSIM: A C-Based, Process-Oriented Simulation
+Language", 1986).  It provides the same modelling paradigm -- simulation
+*processes* written as sequential code that suspends on timed waits and
+synchronisation primitives -- implemented with Python generators.
+
+Time is an integer number of **picoseconds**.  Integer time keeps the
+simulation exactly deterministic (no floating-point drift when mixing a
+2 ns ring clock with, say, a 7 ns processor clock) and makes every clock
+domain in the paper representable exactly:
+
+* 500 MHz ring clock  -> 2_000 ps
+* 250 MHz ring clock  -> 4_000 ps
+* 100 MHz bus clock   -> 10_000 ps
+* processor cycles    -> 1_000 .. 20_000 ps
+* memory bank access  -> 140_000 ps
+
+A process is any generator that yields *wait requests*:
+
+* ``yield sim.timeout(delay_ps)``   -- resume after ``delay_ps``.
+* ``yield event``                   -- resume when ``event`` fires
+  (the value passed to :meth:`Event.succeed` becomes the yield result).
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def ticker(sim, period, n):
+...     for _ in range(n):
+...         yield sim.timeout(period)
+...         log.append(sim.now)
+>>> _ = sim.spawn(ticker(sim, 2000, 3))
+>>> sim.run()
+>>> log
+[2000, 4000, 6000]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generator, List, Optional, Tuple
+
+__all__ = [
+    "Event",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+#: A simulation process body: a generator yielding wait requests.
+ProcessBody = Generator[Any, Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (double-fire, run-after-finish...)."""
+
+
+class Event:
+    """A one-shot synchronisation point processes can wait on.
+
+    An event starts *pending*; :meth:`succeed` fires it, waking every
+    waiting process and recording a value that each waiter receives as
+    the result of its ``yield``.  Firing twice is an error -- coherence
+    transactions in this codebase use one event per reply, so a double
+    fire always indicates a protocol bug and should fail loudly.
+    """
+
+    __slots__ = ("_sim", "_fired", "_value", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self._sim = sim
+        self._fired = False
+        self._value: Any = None
+        self._waiters: List["Process"] = []
+        self.name = name
+
+    @property
+    def fired(self) -> bool:
+        """Whether :meth:`succeed` has been called."""
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (``None`` while pending)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        """Fire the event, scheduling every waiter to resume *now*."""
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        for process in self._waiters:
+            self._sim._schedule(self._sim.now, process, value)
+        self._waiters.clear()
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self._fired:
+            # Late waiters resume immediately with the recorded value.
+            self._sim._schedule(self._sim.now, process, self._value)
+        else:
+            self._waiters.append(process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self._fired else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout:
+    """A pure delay request; ``yield sim.timeout(d)`` resumes after *d* ps."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: int) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay})"
+
+
+class Process:
+    """A running simulation process wrapping a generator body."""
+
+    __slots__ = ("body", "name", "alive", "result", "_done_event")
+
+    def __init__(self, body: ProcessBody, name: str, sim: "Simulator") -> None:
+        self.body = body
+        self.name = name
+        self.alive = True
+        self.result: Any = None
+        self._done_event = Event(sim, name=f"done:{name}")
+
+    @property
+    def done(self) -> Event:
+        """Event fired (with the process return value) on termination."""
+        return self._done_event
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "dead"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """The event loop: schedules processes on an integer picosecond clock.
+
+    The public surface is intentionally small -- :meth:`spawn`,
+    :meth:`timeout`, :meth:`event`, :meth:`run` -- because protocol code
+    in ``repro.ring`` and ``repro.bus`` builds its own higher-level
+    abstractions (slot schedulers, arbiters) on top of it.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Tuple[int, int, "Process", Any]] = []
+        self._sequence = itertools.count()
+        self._active_processes = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def spawn(self, body: ProcessBody, name: str = "process") -> Process:
+        """Register a generator as a process starting at the current time."""
+        process = Process(body, name, self)
+        self._active_processes += 1
+        self._schedule(self.now, process, None)
+        return process
+
+    def timeout(self, delay: int) -> Timeout:
+        """Create a delay request for ``yield`` (delay in picoseconds)."""
+        return Timeout(int(delay))
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name)
+
+    # ------------------------------------------------------------------
+    # Scheduling core
+    # ------------------------------------------------------------------
+    def _schedule(self, when: int, process: Process, value: Any) -> None:
+        heapq.heappush(self._heap, (when, next(self._sequence), process, value))
+
+    def _step(self) -> None:
+        when, _, process, value = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        if not process.alive:
+            return
+        try:
+            request = process.body.send(value)
+        except StopIteration as stop:
+            process.alive = False
+            process.result = stop.value
+            self._active_processes -= 1
+            process._done_event.succeed(stop.value)
+            return
+        if isinstance(request, Timeout):
+            self._schedule(self.now + request.delay, process, None)
+        elif isinstance(request, Event):
+            request._add_waiter(process)
+        elif isinstance(request, Process):
+            request._done_event._add_waiter(process)
+        else:
+            raise SimulationError(
+                f"process {process.name!r} yielded unsupported request "
+                f"{request!r}; yield a Timeout, Event or Process"
+            )
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the event heap drains (or past time ``until``).
+
+        Returns the final simulation time.  With ``until`` set, the
+        clock stops exactly at ``until`` if events remain beyond it.
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return self.now
+            self._step()
+        return self.now
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled wakeup, or ``None`` if drained."""
+        return self._heap[0][0] if self._heap else None
+
+    @property
+    def active_process_count(self) -> int:
+        """Number of spawned processes that have not yet terminated."""
+        return self._active_processes

@@ -1,0 +1,102 @@
+"""Deterministic random-number helpers for workload generation.
+
+All stochastic behaviour in the reproduction flows through
+:class:`DeterministicRng` so that every experiment is reproducible from
+a single integer seed.  Each processor's trace generator receives an
+independent substream derived from (seed, stream id); results are
+therefore invariant to process interleaving and to how many processors
+are simulated.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence
+
+__all__ = ["DeterministicRng", "substream_seed"]
+
+_GOLDEN64 = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def substream_seed(seed: int, stream: int) -> int:
+    """Derive a well-separated 64-bit seed for substream ``stream``.
+
+    Uses a splitmix64-style mixing step so that adjacent stream ids
+    yield uncorrelated states.
+    """
+    z = (seed + (stream + 1) * _GOLDEN64) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+class DeterministicRng:
+    """A seeded RNG with the handful of draws the generators need."""
+
+    def __init__(self, seed: int, stream: int = 0) -> None:
+        self.seed = seed
+        self.stream = stream
+        self._random = random.Random(substream_seed(seed, stream))
+
+    def uniform(self) -> float:
+        """A float in [0, 1)."""
+        return self._random.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """An integer in [low, high] inclusive."""
+        return self._random.randint(low, high)
+
+    def bernoulli(self, probability: float) -> bool:
+        """True with the given probability."""
+        return self._random.random() < probability
+
+    def choice(self, options: Sequence) -> object:
+        """A uniformly random element of ``options``."""
+        return options[self._random.randrange(len(options))]
+
+    def geometric(self, mean: float) -> int:
+        """A geometric draw with the given mean (support {1, 2, ...}).
+
+        Used for run lengths (consecutive references to one block) in
+        the synthetic trace generators.  Inverse-CDF sampling:
+        ``ceil(log(1-u) / log(1-p))`` with p = 1/mean.
+        """
+        if mean <= 1.0:
+            return 1
+        p = 1.0 / mean
+        u = self._random.random()
+        draw = int(math.log1p(-u) / math.log1p(-p)) + 1
+        return min(draw, 1_000_000)
+
+    def zipf_index(self, size: int, weights: List[float]) -> int:
+        """Index in [0, size) drawn with the given cumulative weights."""
+        u = self._random.random() * weights[-1]
+        lo, hi = 0, size - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if weights[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
+def zipf_cumulative_weights(size: int, exponent: float) -> List[float]:
+    """Cumulative Zipf(exponent) weights for ``size`` ranks.
+
+    Precomputed once per generator; combined with
+    :meth:`DeterministicRng.zipf_index` this gives O(log n) skewed
+    block selection, which is how the synthetic traces model temporal
+    locality inside a working set.
+    """
+    weights: List[float] = []
+    total = 0.0
+    for rank in range(1, size + 1):
+        total += 1.0 / (rank ** exponent)
+        weights.append(total)
+    return weights
+
+
+__all__.append("zipf_cumulative_weights")

@@ -1,0 +1,43 @@
+"""Synthetic workloads standing in for the paper's address traces."""
+
+from repro.traces.benchmarks import (
+    BENCHMARKS,
+    MIT_BENCHMARKS,
+    PAPER_TABLE2,
+    SPLASH_BENCHMARKS,
+    BenchmarkSpec,
+    available_configurations,
+    benchmark_spec,
+)
+from repro.traces.io import (
+    TraceSetInfo,
+    read_trace,
+    read_trace_set,
+    write_trace,
+    write_trace_set,
+)
+from repro.traces.records import TraceRecord, TraceStream
+from repro.traces.stats import TraceCharacteristics, characterize
+from repro.traces.synthetic import Pool, SyntheticTraceGenerator, generate_trace
+
+__all__ = [
+    "BENCHMARKS",
+    "MIT_BENCHMARKS",
+    "PAPER_TABLE2",
+    "SPLASH_BENCHMARKS",
+    "BenchmarkSpec",
+    "available_configurations",
+    "benchmark_spec",
+    "TraceSetInfo",
+    "read_trace",
+    "read_trace_set",
+    "write_trace",
+    "write_trace_set",
+    "TraceRecord",
+    "TraceStream",
+    "TraceCharacteristics",
+    "characterize",
+    "Pool",
+    "SyntheticTraceGenerator",
+    "generate_trace",
+]

@@ -1,0 +1,308 @@
+"""Per-benchmark parameters for the synthetic trace generators.
+
+The paper's workloads are three SPLASH programs (MP3D, WATER,
+CHOLESKY; 8/16/32 processors) and three 64-processor MIT FORTRAN
+traces (FFT, WEATHER, SIMPLE).  We do not have those traces, so each
+benchmark is modelled by a parameter set that reproduces the
+characteristics the paper's analysis actually depends on (its Table 2
+plus the sharing-pattern commentary of sections 3.3 and 4.2):
+
+* the instruction / data reference mix and private/shared split and
+  their write fractions are taken **directly** from Table 2, so those
+  columns reproduce by construction;
+* miss rates *emerge* from working-set and locality parameters
+  (episode run lengths, pool sizes) calibrated per benchmark so the
+  measured rates land near the paper's;
+* the sharing-pattern mix (migratory read-write blocks vs read-mostly
+  vs per-processor partitioned data) is calibrated so the *structure*
+  of coherence traffic matches the paper's qualitative description --
+  e.g. MP3D and FFT show heavy read-write sharing (many dirty and
+  2-cycle misses, Figure 5), while CHOLESKY, WEATHER and SIMPLE are
+  dominated by clean remote misses.
+
+All knobs are plain data: experiments can copy a spec with
+``dataclasses.replace`` to explore deviations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "SPLASH_BENCHMARKS",
+    "MIT_BENCHMARKS",
+    "benchmark_spec",
+    "available_configurations",
+    "PAPER_TABLE2",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Synthetic-workload parameters for one (benchmark, size) pair."""
+
+    name: str
+    processors: int
+    #: Instructions per data reference (Table 2: instr refs / data refs).
+    instr_per_data: float
+    #: Fraction of data references to shared data.
+    shared_fraction: float
+    #: Store fraction among private / shared references (Table 2).
+    private_write_fraction: float
+    shared_write_fraction: float
+    #: Private working set, in blocks, per processor.
+    private_blocks: int
+    #: Mean consecutive references to one private block.
+    private_run_mean: float
+    #: Shared space size, in blocks per processor.
+    shared_blocks_per_proc: int
+    #: Mean consecutive references to one shared block (the main
+    #: shared-miss-rate knob: start-of-episode references mostly miss).
+    shared_run_mean: float
+    #: Sharing-pattern mix over shared references (sums to <= 1; the
+    #: remainder is read-mostly data).
+    migratory_fraction: float
+    partitioned_fraction: float
+    #: Hot migratory set size (blocks, global).
+    migratory_blocks: int
+    #: Probability a "partitioned" access strays to another processor's
+    #: partition (multitasking / task migration effect).
+    partition_stray_probability: float
+    #: Zipf exponent for locality inside private/read-mostly pools.
+    zipf_exponent: float = 0.6
+    #: Store fraction on partitioned data.  Low by default: partitioned
+    #: writes hit blocks nobody else caches, and the paper's Table 1
+    #: shows ~87% of invalidations finding shared copies, so most of
+    #: the write budget belongs to the (hot) migratory pool.  WEATHER
+    #: and SIMPLE override this upward: their writes are producer
+    #: updates that rarely collide with readers (tiny dirty-miss
+    #: shares in Figure 5 despite visible write fractions).
+    partitioned_write_fraction: float = 0.01
+    #: Store fraction on read-mostly data (same rationale: these
+    #: writes make thin-sharer invalidations, kept rare).
+    read_mostly_write_fraction: float = 0.005
+    #: Migratory write-burst concentration (see the generator): bursts
+    #: are this factor larger and rarer than a uniform spread.  Low-
+    #: write benchmarks use a smaller factor so enough invalidation
+    #: events occur for their distributions to be meaningful.
+    migratory_accumulation: float = 3.0
+
+    def scaled(self, **overrides: object) -> "BenchmarkSpec":
+        """Copy with overrides (convenience for ablations)."""
+        return replace(self, **overrides)
+
+    @property
+    def read_mostly_fraction(self) -> float:
+        return max(0.0, 1.0 - self.migratory_fraction - self.partitioned_fraction)
+
+
+def _mp3d(processors: int, shared_fraction: float, shared_w: float,
+          run: float, private_run: float, instr_per_data: float) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name="mp3d",
+        processors=processors,
+        instr_per_data=instr_per_data,
+        shared_fraction=shared_fraction,
+        private_write_fraction=0.22,
+        shared_write_fraction=shared_w,
+        private_blocks=6_000,
+        private_run_mean=private_run,
+        shared_blocks_per_proc=3_000,
+        shared_run_mean=run,
+        migratory_fraction=0.55,
+        partitioned_fraction=0.15,
+        migratory_blocks=96,
+        partition_stray_probability=0.08,
+    )
+
+
+def _water(processors: int, shared_fraction: float, shared_w: float,
+           run: float, instr_per_data: float,
+           accumulation: float) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name="water",
+        processors=processors,
+        instr_per_data=instr_per_data,
+        shared_fraction=shared_fraction,
+        private_write_fraction=0.18,
+        shared_write_fraction=shared_w,
+        private_blocks=4_000,
+        private_run_mean=900.0,
+        shared_blocks_per_proc=1_200,
+        shared_run_mean=run,
+        migratory_fraction=0.35,
+        partitioned_fraction=0.35,
+        # Hot set scales with the machine so per-block writer pressure
+        # stays constant across sizes (keeps the Figure 5 clean-share
+        # trend driven by home locality, as in the paper).
+        migratory_blocks=processors,
+        partition_stray_probability=0.05,
+        partitioned_write_fraction=0.002,
+        read_mostly_write_fraction=0.001,
+        # Grows with size so the dirty-miss share stays flat and the
+        # Figure 5 clean-share trend is carried by home locality.
+        migratory_accumulation=accumulation,
+    )
+
+
+def _cholesky(processors: int, shared_fraction: float, shared_w: float,
+              run: float, private_run: float, instr_per_data: float) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name="cholesky",
+        processors=processors,
+        instr_per_data=instr_per_data,
+        shared_fraction=shared_fraction,
+        private_write_fraction=0.20,
+        shared_write_fraction=shared_w,
+        private_blocks=7_000,
+        private_run_mean=private_run,
+        shared_blocks_per_proc=4_000,
+        shared_run_mean=run,
+        migratory_fraction=0.12,
+        partitioned_fraction=0.18,
+        migratory_blocks=48,
+        partition_stray_probability=0.10,
+    )
+
+
+#: SPLASH-style benchmarks: keyed by (name, processors).
+SPLASH_BENCHMARKS: Dict[Tuple[str, int], BenchmarkSpec] = {
+    ("mp3d", 8): _mp3d(8, 0.34, 0.33, 9.0, 500.0, 2.00),
+    ("mp3d", 16): _mp3d(16, 0.36, 0.30, 7.0, 420.0, 2.09),
+    ("mp3d", 32): _mp3d(32, 0.45, 0.21, 2.5, 160.0, 2.41),
+    ("water", 8): _water(8, 0.136, 0.07, 54.0, 2.34, 1.2),
+    ("water", 16): _water(16, 0.159, 0.06, 43.0, 2.39, 1.7),
+    ("water", 32): _water(32, 0.175, 0.06, 21.0, 2.42, 2.6),
+    ("cholesky", 8): _cholesky(8, 0.232, 0.14, 8.2, 650.0, 2.15),
+    ("cholesky", 16): _cholesky(16, 0.286, 0.09, 4.8, 460.0, 2.39),
+    ("cholesky", 32): _cholesky(32, 0.388, 0.05, 1.9, 140.0, 2.75),
+}
+
+
+#: 64-processor MIT-trace-style benchmarks.
+MIT_BENCHMARKS: Dict[Tuple[str, int], BenchmarkSpec] = {
+    ("fft", 64): BenchmarkSpec(
+        name="fft",
+        processors=64,
+        instr_per_data=0.72,
+        shared_fraction=0.24,
+        private_write_fraction=0.27,
+        shared_write_fraction=0.50,
+        private_blocks=5_000,
+        private_run_mean=110.0,
+        shared_blocks_per_proc=1_500,
+        shared_run_mean=3.45,
+        migratory_fraction=0.50,
+        partitioned_fraction=0.20,
+        migratory_blocks=256,
+        partition_stray_probability=0.08,
+    ),
+    ("weather", 64): BenchmarkSpec(
+        name="weather",
+        processors=64,
+        instr_per_data=0.87,
+        shared_fraction=0.161,
+        private_write_fraction=0.16,
+        shared_write_fraction=0.19,
+        private_blocks=6_000,
+        private_run_mean=90.0,
+        shared_blocks_per_proc=2_500,
+        shared_run_mean=2.8,
+        migratory_fraction=0.10,
+        partitioned_fraction=0.30,
+        migratory_blocks=128,
+        partition_stray_probability=0.12,
+        partitioned_write_fraction=0.50,
+    ),
+    ("simple", 64): BenchmarkSpec(
+        name="simple",
+        processors=64,
+        instr_per_data=0.83,
+        shared_fraction=0.29,
+        private_write_fraction=0.35,
+        shared_write_fraction=0.11,
+        private_blocks=7_000,
+        private_run_mean=45.0,
+        shared_blocks_per_proc=3_500,
+        shared_run_mean=1.6,
+        migratory_fraction=0.15,
+        partitioned_fraction=0.25,
+        migratory_blocks=128,
+        partition_stray_probability=0.12,
+        partitioned_write_fraction=0.25,
+    ),
+}
+
+
+#: Every (name, processors) configuration the paper evaluates.
+BENCHMARKS: Dict[Tuple[str, int], BenchmarkSpec] = {
+    **SPLASH_BENCHMARKS,
+    **MIT_BENCHMARKS,
+}
+
+
+def benchmark_spec(name: str, processors: int) -> BenchmarkSpec:
+    """Look up a benchmark configuration.
+
+    The paper's exact sizes (8/16/32 for SPLASH, 64 for the MIT
+    traces) return their calibrated specs.  Other processor counts are
+    served by adapting the nearest registered size -- convenient for
+    quick experiments at small scales -- while an unknown *name*
+    raises with the list of options.
+    """
+    key = (name.lower(), processors)
+    if key in BENCHMARKS:
+        return BENCHMARKS[key]
+    sizes = [
+        procs for bench, procs in BENCHMARKS if bench == name.lower()
+    ]
+    if not sizes:
+        options = ", ".join(
+            f"{bench}@{procs}" for bench, procs in sorted(BENCHMARKS)
+        )
+        raise KeyError(
+            f"no benchmark {name!r}; available: {options}"
+        )
+    nearest = min(sizes, key=lambda procs: abs(procs - processors))
+    return replace(
+        BENCHMARKS[(name.lower(), nearest)], processors=processors
+    )
+
+
+def available_configurations() -> List[Tuple[str, int]]:
+    """All (name, processors) pairs, sorted."""
+    return sorted(BENCHMARKS)
+
+
+#: Paper Table 2, for side-by-side reporting: (data refs M, instr refs
+#: M, private %w, shared %w, total miss %, shared miss %) per
+#: (benchmark, processors).
+PAPER_TABLE2: Dict[Tuple[str, int], Dict[str, float]] = {
+    ("mp3d", 8): dict(data_m=3.76, instr_m=7.51, private_m=2.48, private_w=22,
+                      shared_m=1.27, shared_w=33, total_miss=3.29, shared_miss=9.44),
+    ("mp3d", 16): dict(data_m=3.94, instr_m=8.23, private_m=2.50, private_w=22,
+                       shared_m=1.43, shared_w=30, total_miss=4.54, shared_miss=12.17),
+    ("mp3d", 32): dict(data_m=4.64, instr_m=11.16, private_m=2.51, private_w=22,
+                       shared_m=2.08, shared_w=21, total_miss=16.55, shared_miss=35.74),
+    ("water", 8): dict(data_m=11.05, instr_m=25.89, private_m=9.54, private_w=18,
+                       shared_m=1.50, shared_w=7, total_miss=0.21, shared_miss=1.38),
+    ("water", 16): dict(data_m=11.36, instr_m=27.15, private_m=9.55, private_w=18,
+                        shared_m=1.81, shared_w=6, total_miss=0.32, shared_miss=1.82),
+    ("water", 32): dict(data_m=11.60, instr_m=28.12, private_m=9.56, private_w=18,
+                        shared_m=2.03, shared_w=6, total_miss=0.73, shared_miss=3.82),
+    ("cholesky", 8): dict(data_m=6.97, instr_m=15.00, private_m=5.29, private_w=21,
+                          shared_m=1.62, shared_w=14, total_miss=2.88, shared_miss=10.61),
+    ("cholesky", 16): dict(data_m=8.91, instr_m=21.26, private_m=6.27, private_w=20,
+                           shared_m=2.55, shared_w=9, total_miss=6.12, shared_miss=18.96),
+    ("cholesky", 32): dict(data_m=13.75, instr_m=37.84, private_m=8.21, private_w=18,
+                           shared_m=5.33, shared_w=5, total_miss=19.47, shared_miss=46.71),
+    ("fft", 64): dict(data_m=4.31, instr_m=3.12, private_m=3.28, private_w=27,
+                      shared_m=1.03, shared_w=50, total_miss=6.85, shared_miss=26.12),
+    ("weather", 64): dict(data_m=15.63, instr_m=13.64, private_m=13.11, private_w=16,
+                          shared_m=2.52, shared_w=19, total_miss=5.25, shared_miss=30.78),
+    ("simple", 64): dict(data_m=14.02, instr_m=11.59, private_m=9.94, private_w=35,
+                         shared_m=4.07, shared_w=11, total_miss=15.97, shared_miss=54.16),
+}

@@ -1,0 +1,167 @@
+"""Trace file I/O.
+
+The paper drove its simulators from address-trace files (CacheMire /
+MIT traces).  This module persists per-processor traces in a compact
+binary format so that:
+
+* expensive synthetic generations can be reused across runs, and
+* users who *do* have real multiprocessor traces can convert them to
+  this format and drive the simulators with the actual workloads.
+
+Format
+------
+A trace **set** is a directory with ``manifest.json`` plus one
+``cpu<N>.trace`` file per processor.  A trace file is a header magic
+(``RPTR1\\n``) followed by fixed-size little-endian records::
+
+    uint16  instr_before
+    uint64  address
+    uint8   is_write (0/1)
+
+Records with more than 65 535 leading instructions are split by
+emitting continuation records (an address of ``CONTINUATION`` and the
+overflow count), which no realistic trace needs but keeps the format
+lossless.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import struct
+from typing import Iterable, Iterator, List, Union
+
+from repro.traces.records import TraceRecord
+
+__all__ = [
+    "write_trace",
+    "read_trace",
+    "write_trace_set",
+    "read_trace_set",
+    "TraceSetInfo",
+]
+
+MAGIC = b"RPTR1\n"
+_RECORD = struct.Struct("<HQB")
+#: Sentinel address marking an instruction-count continuation record.
+CONTINUATION = (1 << 64) - 1
+_MAX_INSTR = (1 << 16) - 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_trace(path: PathLike, records: Iterable[TraceRecord]) -> int:
+    """Write one processor's trace; returns the record count."""
+    count = 0
+    with open(path, "wb") as stream:
+        stream.write(MAGIC)
+        for instr_before, address, is_write in records:
+            if address == CONTINUATION:
+                raise ValueError("address collides with the continuation sentinel")
+            while instr_before > _MAX_INSTR:
+                stream.write(_RECORD.pack(_MAX_INSTR, CONTINUATION, 0))
+                instr_before -= _MAX_INSTR
+            stream.write(
+                _RECORD.pack(instr_before, address, 1 if is_write else 0)
+            )
+            count += 1
+    return count
+
+
+def read_trace(path: PathLike) -> Iterator[TraceRecord]:
+    """Lazily read one processor's trace."""
+    with open(path, "rb") as stream:
+        magic = stream.read(len(MAGIC))
+        if magic != MAGIC:
+            raise ValueError(f"{path}: not a repro trace file")
+        carried = 0
+        while True:
+            raw = stream.read(_RECORD.size)
+            if not raw:
+                break
+            if len(raw) != _RECORD.size:
+                raise ValueError(f"{path}: truncated record")
+            instr_before, address, is_write = _RECORD.unpack(raw)
+            if address == CONTINUATION:
+                carried += instr_before
+                continue
+            yield TraceRecord(
+                instr_before=instr_before + carried,
+                address=address,
+                is_write=bool(is_write),
+            )
+            carried = 0
+        if carried:
+            raise ValueError(f"{path}: dangling continuation record")
+
+
+class TraceSetInfo:
+    """Manifest of a trace-set directory."""
+
+    def __init__(
+        self,
+        benchmark: str,
+        processors: int,
+        data_refs: int,
+        seed: int,
+    ) -> None:
+        self.benchmark = benchmark
+        self.processors = processors
+        self.data_refs = data_refs
+        self.seed = seed
+
+    def as_dict(self) -> dict:
+        return {
+            "format": "repro-trace-set-v1",
+            "benchmark": self.benchmark,
+            "processors": self.processors,
+            "data_refs": self.data_refs,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceSetInfo":
+        if payload.get("format") != "repro-trace-set-v1":
+            raise ValueError("not a repro trace-set manifest")
+        return cls(
+            benchmark=payload["benchmark"],
+            processors=payload["processors"],
+            data_refs=payload["data_refs"],
+            seed=payload["seed"],
+        )
+
+
+def write_trace_set(
+    directory: PathLike,
+    streams: Iterable[Iterable[TraceRecord]],
+    info: TraceSetInfo,
+) -> pathlib.Path:
+    """Persist one stream per processor plus a manifest."""
+    root = pathlib.Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    counts: List[int] = []
+    for node, stream in enumerate(streams):
+        counts.append(write_trace(root / f"cpu{node}.trace", stream))
+    if len(counts) != info.processors:
+        raise ValueError(
+            f"manifest says {info.processors} processors but "
+            f"{len(counts)} streams were written"
+        )
+    manifest = info.as_dict()
+    manifest["record_counts"] = counts
+    (root / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return root
+
+
+def read_trace_set(
+    directory: PathLike,
+) -> "tuple[TraceSetInfo, List[Iterator[TraceRecord]]]":
+    """Open a trace set: (manifest, one lazy stream per processor)."""
+    root = pathlib.Path(directory)
+    manifest = json.loads((root / "manifest.json").read_text())
+    info = TraceSetInfo.from_dict(manifest)
+    streams = [
+        read_trace(root / f"cpu{node}.trace")
+        for node in range(info.processors)
+    ]
+    return info, streams

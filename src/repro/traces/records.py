@@ -1,0 +1,42 @@
+"""Trace record format for the trace-driven processors.
+
+The paper drives its simulations with multiprocessor address traces
+(SPLASH programs traced with CacheMire; MIT FORTRAN traces).  Our
+synthetic generators produce streams of the same information: each
+record is one **data reference** preceded by a number of pure
+instructions.
+
+Records are plain tuples for speed (the processors consume millions of
+them); :class:`TraceRecord` documents the layout and is what the
+generators' tests construct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+__all__ = ["TraceRecord", "TraceStream"]
+
+
+class TraceRecord(NamedTuple):
+    """One data reference plus the instruction fetches charged to it.
+
+    ``instr_before`` is the number of instruction fetches attributed
+    to this record -- the generators apportion the benchmark's
+    instruction/data ratio across records with a fractional carry, so
+    a record may carry zero instructions (an extra data reference of a
+    multi-access instruction) or several.  Execution time on hits is
+    one processor cycle per *instruction*; data references piggyback
+    on their instruction's cycle (paper section 4.1).
+    """
+
+    #: Instruction fetches attributed to this data reference.
+    instr_before: int
+    #: Byte address referenced (see ``repro.memory.address`` layout).
+    address: int
+    #: True for a store, False for a load.
+    is_write: bool
+
+
+#: A per-processor trace: an iterator of records.
+TraceStream = Iterator[TraceRecord]

@@ -1,0 +1,95 @@
+"""Trace characterisation: the reproduction of the paper's Table 2.
+
+Given the processors of a finished simulation, derive the same
+columns the paper tabulates: data and instruction reference counts,
+private/shared reference splits with write percentages, and the total
+and shared miss rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.proc.processor import TraceProcessor
+
+__all__ = ["TraceCharacteristics", "characterize"]
+
+
+@dataclass(frozen=True)
+class TraceCharacteristics:
+    """Aggregate Table 2-style characteristics of one run."""
+
+    benchmark: str
+    processors: int
+    data_refs: int
+    instr_refs: int
+    private_refs: int
+    private_write_percent: float
+    shared_refs: int
+    shared_write_percent: float
+    total_miss_rate_percent: float
+    shared_miss_rate_percent: float
+
+    @property
+    def data_refs_millions(self) -> float:
+        return self.data_refs / 1e6
+
+    @property
+    def instr_refs_millions(self) -> float:
+        return self.instr_refs / 1e6
+
+    @property
+    def shared_fraction(self) -> float:
+        return self.shared_refs / self.data_refs if self.data_refs else 0.0
+
+    def as_row(self) -> dict:
+        """A Table 2 row (same column names as the paper's header)."""
+        return {
+            "benchmark": self.benchmark,
+            "proc": self.processors,
+            "data refs (M)": round(self.data_refs_millions, 3),
+            "instr refs (M)": round(self.instr_refs_millions, 3),
+            "private (%w)": f"{self.private_refs / 1e6:.3f}M "
+            f"({self.private_write_percent:.0f}% w)",
+            "shared (%w)": f"{self.shared_refs / 1e6:.3f}M "
+            f"({self.shared_write_percent:.0f}% w)",
+            "total miss rate": f"{self.total_miss_rate_percent:.2f}%",
+            "shared miss rate": f"{self.shared_miss_rate_percent:.2f}%",
+        }
+
+
+def characterize(
+    benchmark: str, processors: Sequence[TraceProcessor]
+) -> TraceCharacteristics:
+    """Aggregate per-processor counters into Table 2 characteristics."""
+    if not processors:
+        raise ValueError("no processors to characterise")
+    data_refs = sum(p.counters.data_refs for p in processors)
+    instr_refs = sum(p.counters.instructions for p in processors)
+    private_refs = sum(p.counters.private_refs for p in processors)
+    private_writes = sum(p.counters.private_writes for p in processors)
+    shared_refs = sum(p.counters.shared_refs for p in processors)
+    shared_writes = sum(p.counters.shared_writes for p in processors)
+    shared_misses = sum(p.counters.shared_fetch_misses for p in processors)
+    total_misses = sum(p.cache.stats.misses for p in processors)
+    return TraceCharacteristics(
+        benchmark=benchmark,
+        processors=len(processors),
+        data_refs=data_refs,
+        instr_refs=instr_refs,
+        private_refs=private_refs,
+        private_write_percent=(
+            100.0 * private_writes / private_refs if private_refs else 0.0
+        ),
+        shared_refs=shared_refs,
+        shared_write_percent=(
+            100.0 * shared_writes / shared_refs if shared_refs else 0.0
+        ),
+        total_miss_rate_percent=(
+            100.0 * total_misses / data_refs if data_refs else 0.0
+        ),
+        shared_miss_rate_percent=(
+            100.0 * shared_misses / shared_refs if shared_refs else 0.0
+        ),
+    )

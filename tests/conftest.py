@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import Protocol, SystemConfig
+from repro.core.experiment import build_engine
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A small 4-node baseline system (fast to simulate)."""
+    return SystemConfig(num_processors=4)
+
+
+def make_engine(protocol: Protocol, num_processors: int = 4):
+    """Fresh (sim, engine) pair for a protocol."""
+    sim = Simulator()
+    config = SystemConfig(num_processors=num_processors, protocol=protocol)
+    return sim, build_engine(sim, config)
+
+
+def run_reference(sim, engine, node: int, address: int, is_write: bool):
+    """Drive one reference through an engine to completion.
+
+    Returns the transaction latency in ps (0 for a hit).
+    """
+    from repro.memory.cache import AccessOutcome
+
+    outcome = engine.caches[node].classify(address, is_write)
+    if outcome is AccessOutcome.HIT:
+        return 0
+    box = {}
+
+    def body():
+        box["latency"] = yield from engine.miss(node, address, outcome)
+
+    sim.spawn(body(), name="test-ref")
+    sim.run()
+    return box["latency"]

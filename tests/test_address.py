@@ -1,0 +1,124 @@
+"""Unit and property tests for the address map."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.address import (
+    PAGE_SIZE,
+    PRIVATE_REGION_SIZE,
+    SHARED_BASE,
+    AddressMap,
+)
+
+
+@pytest.fixture
+def amap():
+    return AddressMap(num_nodes=8, block_size=16, seed=1)
+
+
+def test_private_addresses_below_shared_base(amap):
+    address = amap.private_block_address(3, 100)
+    assert address < SHARED_BASE
+    assert not amap.is_shared(address)
+
+
+def test_shared_addresses_in_shared_region(amap):
+    address = amap.shared_block_address(5)
+    assert address >= SHARED_BASE
+    assert amap.is_shared(address)
+
+
+def test_private_home_is_owner(amap):
+    for node in range(8):
+        address = amap.private_block_address(node, 42)
+        assert amap.home_of(address) == node
+        assert amap.is_local(address, node)
+
+
+def test_private_block_out_of_region_rejected(amap):
+    with pytest.raises(ValueError):
+        amap.private_block_address(0, PRIVATE_REGION_SIZE)  # way past
+
+
+def test_private_bad_node_rejected(amap):
+    with pytest.raises(ValueError):
+        amap.private_block_address(8, 0)
+
+
+def test_negative_shared_index_rejected(amap):
+    with pytest.raises(ValueError):
+        amap.shared_block_address(-1)
+
+
+def test_block_arithmetic(amap):
+    address = amap.shared_block_address(10) + 7
+    assert amap.block_of(address) == amap.shared_block_address(10) // 16
+    assert amap.block_address(address) == amap.shared_block_address(10)
+
+
+def test_parity_alternates(amap):
+    even = amap.shared_block_address(0)
+    odd = amap.shared_block_address(1)
+    assert amap.parity_of(even) != amap.parity_of(odd)
+    # Offsets within the block do not change parity.
+    assert amap.parity_of(even + 12) == amap.parity_of(even)
+
+
+def test_home_is_deterministic():
+    a = AddressMap(8, 16, seed=9)
+    b = AddressMap(8, 16, seed=9)
+    for index in range(0, 5_000, 37):
+        address = a.shared_block_address(index)
+        assert a.home_of(address) == b.home_of(address)
+
+
+def test_home_depends_on_seed():
+    a = AddressMap(8, 16, seed=1)
+    b = AddressMap(8, 16, seed=2)
+    addresses = [a.shared_block_address(i * 1_000) for i in range(64)]
+    assert any(a.home_of(addr) != b.home_of(addr) for addr in addresses)
+
+
+def test_home_constant_within_page():
+    amap = AddressMap(16, 16, seed=3)
+    base = amap.shared_block_address(0)
+    page_start = (base // PAGE_SIZE) * PAGE_SIZE
+    homes = {
+        amap.home_of(page_start + offset)
+        for offset in range(0, PAGE_SIZE, 256)
+    }
+    assert len(homes) == 1
+
+
+def test_shared_pages_spread_across_nodes():
+    amap = AddressMap(8, 16, seed=5)
+    homes = {
+        amap.home_of(amap.shared_block_address(index * (PAGE_SIZE // 16)))
+        for index in range(200)
+    }
+    assert len(homes) == 8  # every node homes some page
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        AddressMap(0, 16)
+    with pytest.raises(ValueError):
+        AddressMap(4, 12)  # not a power of two
+    with pytest.raises(ValueError):
+        AddressMap(4, 0)
+
+
+@given(st.integers(0, 10**7))
+def test_home_always_valid_node(index):
+    amap = AddressMap(8, 16, seed=7)
+    address = amap.shared_block_address(index)
+    assert 0 <= amap.home_of(address) < 8
+
+
+@given(st.integers(2, 64), st.integers(0, 100_000))
+def test_block_of_consistent_with_block_address(num_nodes, index):
+    amap = AddressMap(num_nodes, 16, seed=1)
+    address = amap.shared_block_address(index)
+    assert amap.block_address(address) == address
+    assert amap.block_of(address) * 16 == address

@@ -1,0 +1,109 @@
+"""Unit tests for table and figure rendering."""
+
+from repro.analysis.figures import render_chart, render_sweeps, series_summary
+from repro.analysis.tables import format_value, paper_vs_measured, render_table
+from repro.core.config import Protocol
+from repro.core.results import OperatingPoint, SweepResult
+
+
+def make_sweep(label="test", values=(0.9, 0.5, 0.2)):
+    sweep = SweepResult(
+        benchmark="mp3d", protocol=Protocol.SNOOPING, label=label
+    )
+    for cycle, value in zip((20.0, 10.0, 1.0), values):
+        sweep.points.append(
+            OperatingPoint(
+                processor_cycle_ns=cycle,
+                processor_utilization=value,
+                network_utilization=1 - value,
+                shared_miss_latency_ns=300.0 / value,
+                upgrade_latency_ns=150.0,
+                time_per_instruction_ps=20_000 / value,
+            )
+        )
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+def test_format_value_variants():
+    assert format_value(None) == ""
+    assert format_value(1.23456) == "1.23"
+    assert format_value(1.23456, decimals=1) == "1.2"
+    assert format_value(7) == "7"
+    assert format_value("x") == "x"
+
+
+def test_render_table_alignment_and_content():
+    text = render_table(
+        [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert len(lines) == 5
+    # All rows share the same width.
+    assert len({len(line) for line in lines[1:]}) == 1
+
+
+def test_render_table_column_union():
+    text = render_table([{"a": 1}, {"b": 2}])
+    assert "a" in text and "b" in text
+
+
+def test_render_table_empty():
+    assert render_table([]) == ""
+    assert render_table([], title="only title") == "only title\n"
+
+
+def test_paper_vs_measured_block():
+    text = paper_vs_measured(
+        "Table X", {"metric": 10.0}, {"metric": 11.0}
+    )
+    assert "paper" in text and "ours" in text
+    assert "10.00" in text and "11.00" in text
+
+
+# ----------------------------------------------------------------------
+# Figures
+# ----------------------------------------------------------------------
+def test_render_chart_contains_markers_and_legend():
+    text = render_chart(
+        [("up", [0, 1, 2], [0, 1, 2]), ("down", [0, 1, 2], [2, 1, 0])],
+        title="lines",
+    )
+    assert "lines" in text
+    assert "*" in text and "o" in text
+    assert "legend" in text
+    assert "up" in text and "down" in text
+
+
+def test_render_chart_empty():
+    assert "(no data)" in render_chart([], title="nothing")
+
+
+def test_render_chart_flat_series():
+    text = render_chart([("flat", [1, 2, 3], [5, 5, 5])], title="flat")
+    assert "*" in text
+
+
+def test_render_sweeps_uses_labels():
+    text = render_sweeps(
+        [make_sweep("alpha"), make_sweep("beta", values=(0.8, 0.4, 0.1))],
+        "processor_utilization",
+        title="util",
+    )
+    assert "alpha" in text and "beta" in text
+
+
+def test_series_summary_endpoints():
+    summary = series_summary(make_sweep(), "processor_utilization")
+    assert "0.9" in summary and "0.2" in summary
+    assert "20 ns" in summary and "1 ns" in summary
+
+
+def test_sweep_at_cycle_picks_nearest():
+    sweep = make_sweep()
+    assert sweep.at_cycle(19.0).processor_cycle_ns == 20.0
+    assert sweep.at_cycle(2.0).processor_cycle_ns == 1.0

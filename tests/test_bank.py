@@ -1,0 +1,81 @@
+"""Unit tests for memory banks."""
+
+import pytest
+
+from repro.memory.bank import MEMORY_ACCESS_PS, MemoryBank, build_banks
+from repro.sim.kernel import Simulator
+
+
+def test_paper_access_time_constant():
+    assert MEMORY_ACCESS_PS == 140_000  # 140 ns, section 4.1
+
+
+def test_single_access_takes_access_time(sim):
+    bank = MemoryBank(sim, node=0)
+    done = []
+
+    def body():
+        yield bank.access()
+        done.append(sim.now)
+
+    sim.spawn(body())
+    sim.run()
+    assert done == [MEMORY_ACCESS_PS]
+
+
+def test_accesses_queue_fifo(sim):
+    bank = MemoryBank(sim, node=0)
+    done = []
+
+    def body(tag):
+        yield bank.access()
+        done.append((tag, sim.now))
+
+    sim.spawn(body("a"))
+    sim.spawn(body("b"))
+    sim.run()
+    assert done == [("a", 140_000), ("b", 280_000)]
+    assert bank.mean_wait() == pytest.approx(70_000)
+
+
+def test_custom_access_time(sim):
+    bank = MemoryBank(sim, node=0, access_time=50_000)
+    done = []
+
+    def body():
+        yield bank.access()
+        done.append(sim.now)
+
+    sim.spawn(body())
+    sim.run()
+    assert done == [50_000]
+
+
+def test_build_banks_one_per_node(sim):
+    banks = build_banks(sim, 8)
+    assert len(banks) == 8
+    assert [bank.node for bank in banks] == list(range(8))
+
+
+def test_utilization(sim):
+    bank = MemoryBank(sim, node=0)
+
+    def body():
+        yield bank.access()
+        yield sim.timeout(60_000)
+
+    sim.spawn(body())
+    sim.run()
+    assert bank.utilization(sim.now) == pytest.approx(0.7)
+
+
+def test_request_count(sim):
+    bank = MemoryBank(sim, node=0)
+
+    def body():
+        yield bank.access()
+        yield bank.access()
+
+    sim.spawn(body())
+    sim.run()
+    assert bank.requests == 2

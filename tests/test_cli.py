@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_benchmarks_lists_all_configurations(capsys):
+    code, out = run_cli(capsys, "benchmarks")
+    assert code == 0
+    for name in ("mp3d", "water", "cholesky", "fft", "weather", "simple"):
+        assert name in out
+
+
+def test_snooprate_prints_table3(capsys):
+    code, out = run_cli(capsys, "snooprate")
+    assert code == 0
+    assert "20" in out and "152" in out  # two of the paper's cells
+    assert "64-bit" in out
+
+
+def test_simulate_reports_metrics(capsys):
+    code, out = run_cli(
+        capsys, "simulate", "mp3d", "-p", "4", "-r", "800"
+    )
+    assert code == 0
+    assert "processor utilization" in out
+    assert "shared-miss latency" in out
+    assert "mp3d" in out
+
+
+def test_simulate_directory_protocol(capsys):
+    code, out = run_cli(
+        capsys,
+        "simulate",
+        "mp3d",
+        "-p",
+        "4",
+        "-r",
+        "800",
+        "--protocol",
+        "directory",
+    )
+    assert code == 0
+    assert "directory" in out
+
+
+def test_simulate_weak_ordering_flag(capsys):
+    code, out = run_cli(
+        capsys,
+        "simulate",
+        "mp3d",
+        "-p",
+        "4",
+        "-r",
+        "800",
+        "--weak-ordering",
+    )
+    assert code == 0
+
+
+def test_sweep_outputs_twenty_points(capsys):
+    code, out = run_cli(capsys, "sweep", "mp3d", "-p", "4", "-r", "800")
+    assert code == 0
+    assert "cycle (ns)" in out
+    # All twenty cycle values from the paper's axis appear.
+    assert "20.0" in out and "1.0" in out
+
+
+def test_compare_renders_three_charts(capsys):
+    code, out = run_cli(capsys, "compare", "mp3d", "-p", "4", "-r", "800")
+    assert code == 0
+    assert out.count("legend") == 3
+    assert "snooping" in out and "directory" in out
+
+
+def test_ringbus_renders_four_series(capsys):
+    code, out = run_cli(capsys, "ringbus", "mp3d", "-p", "4", "-r", "800")
+    assert code == 0
+    assert "bus 50 MHz" in out and "snooping ring 500 MHz" in out
+
+
+def test_validate_within_tolerances(capsys):
+    code, out = run_cli(capsys, "validate", "mp3d", "-p", "4", "-r", "1500")
+    assert code == 0
+    assert "within the paper's tolerances" in out
+    assert "yes" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["definitely-not-a-command"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_benchmark_errors(capsys):
+    with pytest.raises(KeyError):
+        main(["simulate", "nonexistent", "-p", "4", "-r", "100"])

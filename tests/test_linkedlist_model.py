@@ -1,0 +1,100 @@
+"""Tests for the linked-list analytical model."""
+
+import pytest
+
+from repro.core.config import Protocol, SystemConfig
+from repro.core.hybrid import hybrid_sweep, validate_model
+from repro.core.metrics import MissClass
+from repro.models.ring_directory import DirectoryRingModel
+from repro.models.ring_linkedlist import LinkedListRingModel
+from tests.test_models import make_inputs
+
+
+def make_linkedlist_inputs(**overrides):
+    from dataclasses import replace
+
+    base = make_inputs(protocol=Protocol.LINKED_LIST)
+    defaults = dict(
+        f_forwards=0.008,
+        mean_miss_traversals=1.2,
+        mean_upgrade_traversals=2.3,
+    )
+    defaults.update(overrides)
+    return replace(base, **defaults)
+
+
+def test_forwarding_raises_clean_latency():
+    config = SystemConfig(num_processors=8, protocol=Protocol.LINKED_LIST)
+    inputs = make_linkedlist_inputs()
+    linked = LinkedListRingModel(config, inputs)
+    directory = DirectoryRingModel(config, inputs)
+    time_ps = 100_000.0
+    assert (
+        linked.breakdown(time_ps).latencies["remote_clean"]
+        > directory.breakdown(time_ps).latencies["remote_clean"]
+    )
+
+
+def test_no_forwards_matches_directory_clean_latency():
+    config = SystemConfig(num_processors=8, protocol=Protocol.LINKED_LIST)
+    inputs = make_linkedlist_inputs(f_forwards=0.0)
+    linked = LinkedListRingModel(config, inputs)
+    directory = DirectoryRingModel(config, inputs)
+    time_ps = 100_000.0
+    assert linked.breakdown(time_ps).latencies[
+        "remote_clean"
+    ] == pytest.approx(
+        directory.breakdown(time_ps).latencies["remote_clean"]
+    )
+
+
+def test_purge_walk_scales_with_traversals():
+    config = SystemConfig(num_processors=8, protocol=Protocol.LINKED_LIST)
+    short = LinkedListRingModel(
+        config, make_linkedlist_inputs(mean_upgrade_traversals=1.5)
+    )
+    long = LinkedListRingModel(
+        config, make_linkedlist_inputs(mean_upgrade_traversals=4.0)
+    )
+    time_ps = 100_000.0
+    assert (
+        long.breakdown(time_ps).latencies["upgrade_with"]
+        > short.breakdown(time_ps).latencies["upgrade_with"]
+    )
+
+
+def test_sweep_label_names_protocol():
+    config = SystemConfig(num_processors=8, protocol=Protocol.LINKED_LIST)
+    model = LinkedListRingModel(config, make_linkedlist_inputs())
+    sweep = model.sweep([10.0])
+    assert "linked-list" in sweep.label
+
+
+def test_hybrid_routes_linked_list():
+    sweep = hybrid_sweep("mp3d", 4, Protocol.LINKED_LIST, data_refs=1_200)
+    assert "linked-list" in sweep.label
+    assert all(0.0 < p.processor_utilization <= 1.0 for p in sweep.points)
+
+
+def test_validation_within_paper_tolerances():
+    report = validate_model(
+        "mp3d", 4, Protocol.LINKED_LIST, data_refs=1_500
+    )
+    assert report.utilization_error < 0.05
+    assert report.latency_error_percent < 15.0
+
+
+def test_linked_list_never_beats_directory_utilization():
+    """Structural expectation: the linked list pays extra hops, so its
+    modelled utilisation trails the full map's on the same workload."""
+    directory_sweep = hybrid_sweep(
+        "mp3d", 4, Protocol.DIRECTORY, data_refs=1_500
+    )
+    linked_sweep = hybrid_sweep(
+        "mp3d", 4, Protocol.LINKED_LIST, data_refs=1_500
+    )
+    for cycle in (20.0, 5.0):
+        assert (
+            linked_sweep.at_cycle(cycle).processor_utilization
+            <= directory_sweep.at_cycle(cycle).processor_utilization + 0.02
+        )

@@ -1,0 +1,48 @@
+"""Tests for the ring message records."""
+
+from repro.ring.messages import BlockKind, BlockMessage, Probe, ProbeKind
+
+
+def test_probe_broadcast_when_no_destination():
+    probe = Probe(kind=ProbeKind.READ_MISS, address=0x100, src=2)
+    assert probe.is_broadcast
+    assert probe.dst is None
+
+
+def test_probe_unicast_with_destination():
+    probe = Probe(kind=ProbeKind.FORWARD, address=0x100, src=2, dst=5)
+    assert not probe.is_broadcast
+
+
+def test_probe_kinds_cover_protocol_vocabulary():
+    values = {kind.value for kind in ProbeKind}
+    assert {
+        "read-miss",
+        "write-miss",
+        "invalidation",
+        "forward",
+        "multicast-invalidate",
+        "list-pointer",
+        "list-purge",
+        "ack",
+    } == values
+
+
+def test_block_kinds():
+    values = {kind.value for kind in BlockKind}
+    assert values == {"miss-reply", "write-back", "sharing-writeback"}
+
+
+def test_block_message_fields():
+    message = BlockMessage(
+        kind=BlockKind.MISS_REPLY, address=0x40, src=1, dst=3
+    )
+    assert message.src == 1 and message.dst == 3
+
+
+def test_messages_are_immutable():
+    import pytest
+
+    probe = Probe(kind=ProbeKind.ACK, address=0, src=0)
+    with pytest.raises(AttributeError):
+        probe.src = 1

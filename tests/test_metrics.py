@@ -1,0 +1,148 @@
+"""Unit tests for the metric accumulators."""
+
+import pytest
+
+from repro.core.metrics import (
+    CoherenceStats,
+    LatencyAccumulator,
+    MissClass,
+    TraversalHistogram,
+)
+
+
+# ----------------------------------------------------------------------
+# LatencyAccumulator
+# ----------------------------------------------------------------------
+def test_latency_accumulator_empty():
+    acc = LatencyAccumulator()
+    assert acc.count == 0
+    assert acc.mean_ps == 0.0
+    assert acc.min_ps is None and acc.max_ps is None
+
+
+def test_latency_accumulator_records():
+    acc = LatencyAccumulator()
+    for value in (10_000, 30_000, 20_000):
+        acc.record(value)
+    assert acc.count == 3
+    assert acc.mean_ps == pytest.approx(20_000)
+    assert acc.mean_ns == pytest.approx(20.0)
+    assert acc.min_ps == 10_000
+    assert acc.max_ps == 30_000
+
+
+def test_latency_accumulator_merge():
+    a = LatencyAccumulator()
+    b = LatencyAccumulator()
+    a.record(5_000)
+    b.record(15_000)
+    b.record(25_000)
+    a.merge(b)
+    assert a.count == 3
+    assert a.min_ps == 5_000
+    assert a.max_ps == 25_000
+
+
+def test_merge_empty_keeps_bounds():
+    a = LatencyAccumulator()
+    a.record(5_000)
+    a.merge(LatencyAccumulator())
+    assert a.min_ps == 5_000 and a.max_ps == 5_000
+
+
+# ----------------------------------------------------------------------
+# TraversalHistogram
+# ----------------------------------------------------------------------
+def test_histogram_paper_row():
+    histogram = TraversalHistogram()
+    for traversals in (1, 1, 1, 2, 3, 5):
+        histogram.record(traversals)
+    row = histogram.as_paper_row()
+    assert row["1"] == pytest.approx(50.0)
+    assert row["2"] == pytest.approx(100.0 / 6)
+    assert row["3+"] == pytest.approx(200.0 / 6)
+    assert histogram.total == 6
+
+
+def test_histogram_empty_percentages():
+    histogram = TraversalHistogram()
+    assert histogram.percentage(1) == 0.0
+    assert histogram.percentage_at_least(3) == 0.0
+
+
+def test_histogram_rejects_negative():
+    histogram = TraversalHistogram()
+    with pytest.raises(ValueError):
+        histogram.record(-1)
+
+
+# ----------------------------------------------------------------------
+# MissClass semantics
+# ----------------------------------------------------------------------
+def test_miss_class_shared_and_remote_flags():
+    assert not MissClass.PRIVATE.is_shared
+    assert MissClass.LOCAL_CLEAN.is_shared
+    assert not MissClass.LOCAL_CLEAN.is_remote
+    for klass in (
+        MissClass.REMOTE_CLEAN,
+        MissClass.REMOTE_DIRTY,
+        MissClass.DIRTY_ONE_CYCLE,
+        MissClass.TWO_CYCLE,
+    ):
+        assert klass.is_shared and klass.is_remote
+
+
+# ----------------------------------------------------------------------
+# CoherenceStats
+# ----------------------------------------------------------------------
+def test_record_miss_routes_latency_and_traversals():
+    stats = CoherenceStats()
+    stats.record_miss(MissClass.REMOTE_CLEAN, 200_000, traversals=1)
+    stats.record_miss(MissClass.TWO_CYCLE, 400_000, traversals=2)
+    stats.record_miss(MissClass.PRIVATE, 140_000)
+    assert stats.total_misses() == 3
+    assert stats.shared_misses() == 2
+    assert stats.remote_misses() == 2
+    assert stats.miss_traversals.total == 2
+
+
+def test_local_misses_not_in_traversal_histogram():
+    stats = CoherenceStats()
+    stats.record_miss(MissClass.LOCAL_CLEAN, 140_000, traversals=1)
+    assert stats.miss_traversals.total == 0
+
+
+def test_record_upgrade_sharers_split():
+    stats = CoherenceStats()
+    stats.record_upgrade(100_000, traversals=1, had_sharers=True)
+    stats.record_upgrade(100_000, traversals=None, had_sharers=False)
+    assert stats.upgrades_with_sharers == 1
+    assert stats.upgrades_without_sharers == 1
+    assert stats.upgrade_traversals.total == 1
+
+
+def test_mean_latency_selectors():
+    stats = CoherenceStats()
+    stats.record_miss(MissClass.PRIVATE, 100_000)
+    stats.record_miss(MissClass.REMOTE_CLEAN, 300_000, traversals=1)
+    assert stats.mean_latency_ps() == pytest.approx(200_000)
+    assert stats.shared_miss_latency_ps() == pytest.approx(300_000)
+    assert stats.mean_latency_ps([MissClass.PRIVATE]) == pytest.approx(100_000)
+
+
+def test_miss_class_percentages_over_remote_only():
+    stats = CoherenceStats()
+    stats.record_miss(MissClass.REMOTE_CLEAN, 1, traversals=1)
+    stats.record_miss(MissClass.REMOTE_CLEAN, 1, traversals=1)
+    stats.record_miss(MissClass.TWO_CYCLE, 1, traversals=2)
+    stats.record_miss(MissClass.PRIVATE, 1)
+    percentages = stats.miss_class_percentages()
+    assert percentages[MissClass.REMOTE_CLEAN] == pytest.approx(200.0 / 3)
+    assert percentages[MissClass.TWO_CYCLE] == pytest.approx(100.0 / 3)
+    assert MissClass.PRIVATE not in percentages
+
+
+def test_miss_class_percentages_empty():
+    stats = CoherenceStats()
+    percentages = stats.miss_class_percentages()
+    assert all(value == 0.0 for value in percentages.values())

@@ -1,0 +1,58 @@
+"""Tests for the engines' public ownership queries.
+
+``dirty_hint`` / ``owned_by`` expose the per-block ownership state the
+engines keep (dirty bits, directory entries, sharing-list heads) --
+used for lock-mode selection internally and handy for instrumentation.
+"""
+
+import pytest
+
+from repro.core.config import Protocol
+from tests.conftest import make_engine, run_reference
+
+RING_PROTOCOLS = [
+    Protocol.SNOOPING,
+    Protocol.DIRECTORY,
+    Protocol.LINKED_LIST,
+    Protocol.HIERARCHICAL,
+]
+
+
+@pytest.mark.parametrize("protocol", RING_PROTOCOLS + [Protocol.BUS])
+def test_clean_block_not_dirty(protocol):
+    sim, engine = make_engine(protocol)
+    address = engine.address_map.shared_block_address(5)
+    assert not engine.dirty_hint(address)
+    run_reference(sim, engine, 0, address, False)
+    assert not engine.dirty_hint(address)
+    assert not engine.owned_by(address, 0)
+
+
+@pytest.mark.parametrize("protocol", RING_PROTOCOLS + [Protocol.BUS])
+def test_written_block_owned_by_writer(protocol):
+    sim, engine = make_engine(protocol)
+    address = engine.address_map.shared_block_address(5)
+    run_reference(sim, engine, 2, address, True)
+    assert engine.dirty_hint(address)
+    assert engine.owned_by(address, 2)
+    assert not engine.owned_by(address, 0)
+
+
+@pytest.mark.parametrize("protocol", RING_PROTOCOLS)
+def test_downgrade_clears_ownership(protocol):
+    sim, engine = make_engine(protocol)
+    address = engine.address_map.shared_block_address(5)
+    run_reference(sim, engine, 2, address, True)
+    run_reference(sim, engine, 1, address, False)
+    sim.run()
+    assert not engine.dirty_hint(address)
+    assert not engine.owned_by(address, 2)
+
+
+def test_ownership_transfer_on_write_miss():
+    sim, engine = make_engine(Protocol.SNOOPING)
+    address = engine.address_map.shared_block_address(5)
+    run_reference(sim, engine, 2, address, True)
+    run_reference(sim, engine, 3, address, True)
+    assert engine.owned_by(address, 3)
+    assert not engine.owned_by(address, 2)

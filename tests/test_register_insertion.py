@@ -1,0 +1,92 @@
+"""Tests for the register-insertion access model (paper §2/§5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.models.register_insertion import (
+    SCI_FAIRNESS_EFFICIENCY,
+    AccessPoint,
+    access_comparison,
+    crossover_utilization,
+    register_insertion_access_ps,
+    slotted_access_ps,
+)
+
+SLOT_PERIOD = 20_000  # one 10-stage frame at 2 ns
+MESSAGE_TIME = 4_000  # a 2-stage probe at 2 ns
+
+
+def test_register_insertion_zero_at_idle():
+    assert register_insertion_access_ps(0.0, MESSAGE_TIME) == 0.0
+
+
+def test_slotted_pays_alignment_at_idle():
+    assert slotted_access_ps(0.0, SLOT_PERIOD) == pytest.approx(
+        SLOT_PERIOD / 2
+    )
+
+
+def test_light_load_favours_register_insertion():
+    for utilization in (0.0, 0.1, 0.3):
+        assert register_insertion_access_ps(
+            utilization, MESSAGE_TIME
+        ) < slotted_access_ps(utilization, SLOT_PERIOD)
+
+
+def test_heavy_load_favours_slotted():
+    assert register_insertion_access_ps(
+        0.95, MESSAGE_TIME
+    ) > slotted_access_ps(0.95, SLOT_PERIOD)
+
+
+def test_crossover_between_extremes():
+    crossover = crossover_utilization(SLOT_PERIOD, MESSAGE_TIME)
+    assert 0.05 < crossover < 0.95
+
+
+def test_fairness_efficiency_hurts_register_insertion():
+    fair = register_insertion_access_ps(
+        0.6, MESSAGE_TIME, fairness_efficiency=1.0
+    )
+    throttled = register_insertion_access_ps(
+        0.6, MESSAGE_TIME, fairness_efficiency=0.7
+    )
+    assert throttled > fair
+
+
+def test_fairness_efficiency_validated():
+    with pytest.raises(ValueError):
+        register_insertion_access_ps(0.5, MESSAGE_TIME, fairness_efficiency=0.0)
+    with pytest.raises(ValueError):
+        register_insertion_access_ps(0.5, MESSAGE_TIME, fairness_efficiency=1.5)
+
+
+def test_access_comparison_points_and_winner():
+    points = access_comparison(
+        SLOT_PERIOD, MESSAGE_TIME, utilizations=[0.0, 0.5, 0.95]
+    )
+    assert [point.utilization for point in points] == [0.0, 0.5, 0.95]
+    assert points[0].winner == "register-insertion"
+    assert points[-1].winner == "slotted"
+
+
+def test_default_sweep_covers_twenty_loads():
+    points = access_comparison(SLOT_PERIOD, MESSAGE_TIME)
+    assert len(points) == 20
+
+
+def test_default_efficiency_matches_constant():
+    a = register_insertion_access_ps(0.4, MESSAGE_TIME)
+    b = register_insertion_access_ps(
+        0.4, MESSAGE_TIME, fairness_efficiency=SCI_FAIRNESS_EFFICIENCY
+    )
+    assert a == b
+
+
+@given(st.floats(0.0, 0.9), st.floats(0.0, 0.9))
+def test_register_insertion_monotone_in_load(lo, hi):
+    low, high = sorted((lo, hi))
+    assert register_insertion_access_ps(
+        low, MESSAGE_TIME
+    ) <= register_insertion_access_ps(high, MESSAGE_TIME) + 1e-9

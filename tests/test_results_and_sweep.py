@@ -1,0 +1,93 @@
+"""Tests for result containers and the figure-family orchestration."""
+
+import pytest
+
+from repro.core.config import Protocol
+from repro.core.metrics import MissClass
+from repro.core.results import OperatingPoint, SweepResult
+from repro.core.sweep import (
+    FIG3_BENCHMARKS,
+    FIG4_BENCHMARKS,
+    FIG6_BENCHMARKS,
+)
+from tests.test_models import make_inputs
+
+
+# ----------------------------------------------------------------------
+# ModelInputs helpers
+# ----------------------------------------------------------------------
+def test_model_inputs_totals():
+    inputs = make_inputs()
+    assert inputs.f_upgrade == pytest.approx(0.003)
+    assert inputs.f_miss_total() == pytest.approx(
+        sum(inputs.f_miss.values())
+    )
+    shared = inputs.f_miss_shared()
+    assert shared == pytest.approx(
+        inputs.f_miss_total() - inputs.f_miss[MissClass.PRIVATE]
+    )
+
+
+def test_model_inputs_defaults_for_extension_fields():
+    inputs = make_inputs()
+    assert inputs.f_forwards == 0.0
+    assert inputs.mean_miss_traversals == 0.0
+    assert inputs.mean_upgrade_traversals == 0.0
+
+
+# ----------------------------------------------------------------------
+# OperatingPoint / SweepResult
+# ----------------------------------------------------------------------
+def make_point(cycle_ns, utilization):
+    return OperatingPoint(
+        processor_cycle_ns=cycle_ns,
+        processor_utilization=utilization,
+        network_utilization=0.2,
+        shared_miss_latency_ns=300.0,
+        upgrade_latency_ns=100.0,
+        time_per_instruction_ps=cycle_ns * 1000 / utilization,
+    )
+
+
+def test_operating_point_mips():
+    assert make_point(20.0, 0.8).mips == pytest.approx(50.0)
+    assert make_point(1.0, 0.5).mips == pytest.approx(1000.0)
+
+
+def test_sweep_series_and_cycles():
+    sweep = SweepResult("mp3d", Protocol.SNOOPING, "label")
+    for cycle in (20.0, 10.0, 1.0):
+        sweep.points.append(make_point(cycle, cycle / 25.0))
+    assert sweep.cycles_ns() == [20.0, 10.0, 1.0]
+    assert sweep.series("processor_utilization") == [0.8, 0.4, 0.04]
+
+
+def test_sweep_at_cycle_empty_raises():
+    sweep = SweepResult("mp3d", Protocol.SNOOPING, "label")
+    with pytest.raises(ValueError):
+        sweep.at_cycle(5.0)
+
+
+# ----------------------------------------------------------------------
+# Figure-family constants
+# ----------------------------------------------------------------------
+def test_fig3_covers_splash_grid():
+    assert len(FIG3_BENCHMARKS) == 9
+    names = {name for name, _ in FIG3_BENCHMARKS}
+    sizes = {procs for _, procs in FIG3_BENCHMARKS}
+    assert names == {"mp3d", "water", "cholesky"}
+    assert sizes == {8, 16, 32}
+
+
+def test_fig4_covers_mit_traces():
+    assert set(FIG4_BENCHMARKS) == {
+        ("fft", 64),
+        ("weather", 64),
+        ("simple", 64),
+    }
+
+
+def test_fig6_covers_mp3d_and_water():
+    names = {name for name, _ in FIG6_BENCHMARKS}
+    assert names == {"mp3d", "water"}
+    assert len(FIG6_BENCHMARKS) == 6

@@ -1,0 +1,227 @@
+"""Unit tests for the FIFO-fair reader-writer lock."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.queues import ReadWriteLock
+
+
+def test_reader_immediate_grant(sim):
+    lock = ReadWriteLock(sim)
+    log = []
+
+    def body():
+        yield lock.acquire(exclusive=False)
+        log.append(sim.now)
+        lock.release()
+
+    sim.spawn(body())
+    sim.run()
+    assert log == [0]
+    assert not lock.held
+
+
+def test_writer_immediate_grant(sim):
+    lock = ReadWriteLock(sim)
+    log = []
+
+    def body():
+        yield lock.acquire(exclusive=True)
+        log.append(sim.now)
+        lock.release()
+
+    sim.spawn(body())
+    sim.run()
+    assert log == [0]
+    assert not lock.held
+
+
+def test_readers_overlap(sim):
+    lock = ReadWriteLock(sim)
+    log = []
+
+    def reader(tag):
+        yield lock.acquire(exclusive=False)
+        log.append((tag, "in", sim.now))
+        yield sim.timeout(1_000)
+        log.append((tag, "out", sim.now))
+        lock.release()
+
+    sim.spawn(reader("a"))
+    sim.spawn(reader("b"))
+    sim.run()
+    # Both enter at time 0: fully concurrent.
+    assert ("a", "in", 0) in log and ("b", "in", 0) in log
+
+
+def test_writers_serialize(sim):
+    lock = ReadWriteLock(sim)
+    log = []
+
+    def writer(tag):
+        yield lock.acquire(exclusive=True)
+        log.append((tag, sim.now))
+        yield sim.timeout(1_000)
+        lock.release()
+
+    sim.spawn(writer("a"))
+    sim.spawn(writer("b"))
+    sim.run()
+    assert log == [("a", 0), ("b", 1_000)]
+
+
+def test_writer_excludes_readers(sim):
+    lock = ReadWriteLock(sim)
+    log = []
+
+    def writer():
+        yield lock.acquire(exclusive=True)
+        yield sim.timeout(1_000)
+        lock.release()
+
+    def reader():
+        yield sim.timeout(10)
+        yield lock.acquire(exclusive=False)
+        log.append(sim.now)
+        lock.release()
+
+    sim.spawn(writer())
+    sim.spawn(reader())
+    sim.run()
+    assert log == [1_000]
+
+
+def test_writer_waits_for_all_readers(sim):
+    lock = ReadWriteLock(sim)
+    log = []
+
+    def reader(hold):
+        yield lock.acquire(exclusive=False)
+        yield sim.timeout(hold)
+        lock.release()
+
+    def writer():
+        yield sim.timeout(10)
+        yield lock.acquire(exclusive=True)
+        log.append(sim.now)
+        lock.release()
+
+    sim.spawn(reader(500))
+    sim.spawn(reader(2_000))
+    sim.spawn(writer())
+    sim.run()
+    assert log == [2_000]
+
+
+def test_fifo_fairness_writer_blocks_later_readers(sim):
+    """A queued writer must not be starved by a stream of readers."""
+    lock = ReadWriteLock(sim)
+    order = []
+
+    def first_reader():
+        yield lock.acquire(exclusive=False)
+        yield sim.timeout(1_000)
+        order.append(("r1-done", sim.now))
+        lock.release()
+
+    def writer():
+        yield sim.timeout(10)
+        yield lock.acquire(exclusive=True)
+        order.append(("w", sim.now))
+        yield sim.timeout(1_000)
+        lock.release()
+
+    def late_reader():
+        yield sim.timeout(20)  # arrives after the writer queued
+        yield lock.acquire(exclusive=False)
+        order.append(("r2", sim.now))
+        lock.release()
+
+    sim.spawn(first_reader())
+    sim.spawn(writer())
+    sim.spawn(late_reader())
+    sim.run()
+    assert order == [("r1-done", 1_000), ("w", 1_000), ("r2", 2_000)]
+
+
+def test_reader_batch_granted_together(sim):
+    lock = ReadWriteLock(sim)
+    entered = []
+
+    def writer():
+        yield lock.acquire(exclusive=True)
+        yield sim.timeout(500)
+        lock.release()
+
+    def reader(tag):
+        yield sim.timeout(10)
+        yield lock.acquire(exclusive=False)
+        entered.append((tag, sim.now))
+        lock.release()
+
+    sim.spawn(writer())
+    for tag in range(3):
+        sim.spawn(reader(tag))
+    sim.run()
+    assert [when for _, when in entered] == [500, 500, 500]
+
+
+def test_release_idle_raises(sim):
+    lock = ReadWriteLock(sim)
+    with pytest.raises(SimulationError):
+        lock.release()
+
+
+def test_queue_length(sim):
+    lock = ReadWriteLock(sim)
+    observed = []
+
+    def holder():
+        yield lock.acquire(exclusive=True)
+        yield sim.timeout(100)
+        observed.append(lock.queue_length)
+        lock.release()
+
+    def waiter():
+        yield lock.acquire(exclusive=False)
+        lock.release()
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.run()
+    assert observed == [1]
+
+
+def test_held_property(sim):
+    lock = ReadWriteLock(sim)
+    states = []
+
+    def body():
+        yield lock.acquire(exclusive=False)
+        states.append(lock.held)
+        lock.release()
+        states.append(lock.held)
+
+    sim.spawn(body())
+    sim.run()
+    assert states == [True, False]
+
+
+def test_interleaved_modes_preserve_order(sim):
+    """R W R W arrival order is honoured exactly."""
+    lock = ReadWriteLock(sim)
+    order = []
+
+    def user(tag, exclusive, arrive):
+        yield sim.timeout(arrive)
+        yield lock.acquire(exclusive=exclusive)
+        order.append(tag)
+        yield sim.timeout(100)
+        lock.release()
+
+    sim.spawn(user("r1", False, 0))
+    sim.spawn(user("w1", True, 1))
+    sim.spawn(user("r2", False, 2))
+    sim.spawn(user("w2", True, 3))
+    sim.run()
+    assert order == ["r1", "w1", "r2", "w2"]

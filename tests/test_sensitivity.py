@@ -1,0 +1,82 @@
+"""Tests for parameter-sensitivity sweeps."""
+
+import pytest
+
+from repro.core.config import Protocol, SystemConfig
+from repro.core.sensitivity import (
+    SUPPORTED_PARAMETERS,
+    apply_parameter,
+    sensitivity_sweep,
+)
+
+
+def test_supported_parameter_names():
+    assert set(SUPPORTED_PARAMETERS) == {
+        "cache_size_bytes",
+        "memory_access_ps",
+        "ring_width_bits",
+        "ring_clock_ps",
+        "block_size",
+    }
+
+
+def test_apply_parameter_returns_modified_copy():
+    base = SystemConfig(num_processors=4)
+    changed = apply_parameter(base, "cache_size_bytes", 32 * 1024)
+    assert changed.cache.size_bytes == 32 * 1024
+    assert base.cache.size_bytes == 128 * 1024  # original untouched
+    assert apply_parameter(base, "ring_width_bits", 64).ring.width_bits == 64
+    assert (
+        apply_parameter(base, "memory_access_ps", 70_000).memory.access_ps
+        == 70_000
+    )
+    assert apply_parameter(base, "block_size", 32).cache.block_size == 32
+
+
+def test_unknown_parameter_lists_options():
+    with pytest.raises(KeyError) as excinfo:
+        apply_parameter(SystemConfig(num_processors=4), "nonsense", 1)
+    assert "cache_size_bytes" in str(excinfo.value)
+
+
+def test_cache_size_sweep_is_flat_by_construction():
+    """Known workload-model property: miss rates are episode-length
+    driven (calibrated to Table 2), so cache capacity barely binds --
+    the sweep must be near-flat, never wildly non-monotone."""
+    rows = sensitivity_sweep(
+        "mp3d",
+        4,
+        "cache_size_bytes",
+        [8 * 1024, 128 * 1024],
+        data_refs=1_500,
+    )
+    assert len(rows) == 2
+    small, large = rows
+    assert small["total miss %"] == pytest.approx(
+        large["total miss %"], rel=0.05
+    )
+
+
+def test_memory_latency_sweep_moves_miss_latency():
+    rows = sensitivity_sweep(
+        "mp3d",
+        4,
+        "memory_access_ps",
+        [70_000, 280_000],
+        data_refs=1_200,
+    )
+    fast, slow = rows
+    assert slow["miss latency (ns)"] > fast["miss latency (ns)"]
+    assert slow["proc util"] < fast["proc util"]
+
+
+def test_ring_width_sweep_lowers_utilization():
+    rows = sensitivity_sweep(
+        "mp3d",
+        4,
+        "ring_width_bits",
+        [16, 64],
+        data_refs=1_200,
+    )
+    narrow, wide = rows
+    assert wide["net util"] < narrow["net util"]

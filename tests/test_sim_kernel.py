@@ -1,0 +1,283 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import Event, SimulationError, Simulator, Timeout
+
+
+def test_initial_time_is_zero(sim):
+    assert sim.now == 0
+
+
+def test_run_empty_returns_zero(sim):
+    assert sim.run() == 0
+
+
+def test_timeout_advances_clock(sim):
+    log = []
+
+    def body():
+        yield sim.timeout(5_000)
+        log.append(sim.now)
+
+    sim.spawn(body())
+    sim.run()
+    assert log == [5_000]
+
+
+def test_zero_timeout_resumes_same_time(sim):
+    log = []
+
+    def body():
+        yield sim.timeout(0)
+        log.append(sim.now)
+
+    sim.spawn(body())
+    sim.run()
+    assert log == [0]
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_sequential_timeouts_accumulate(sim):
+    log = []
+
+    def body():
+        for _ in range(3):
+            yield sim.timeout(2_000)
+            log.append(sim.now)
+
+    sim.spawn(body())
+    sim.run()
+    assert log == [2_000, 4_000, 6_000]
+
+
+def test_two_processes_interleave_by_time(sim):
+    log = []
+
+    def body(name, period):
+        for _ in range(2):
+            yield sim.timeout(period)
+            log.append((sim.now, name))
+
+    sim.spawn(body("slow", 3_000))
+    sim.spawn(body("fast", 1_000))
+    sim.run()
+    assert log == [
+        (1_000, "fast"),
+        (2_000, "fast"),
+        (3_000, "slow"),
+        (6_000, "slow"),
+    ]
+
+
+def test_event_wakes_waiter_with_value(sim):
+    event = sim.event("e")
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append((sim.now, value))
+
+    def firer():
+        yield sim.timeout(7_000)
+        event.succeed("payload")
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert got == [(7_000, "payload")]
+
+
+def test_event_wakes_multiple_waiters(sim):
+    event = sim.event()
+    got = []
+
+    def waiter(tag):
+        value = yield event
+        got.append((tag, value))
+
+    for tag in range(3):
+        sim.spawn(waiter(tag))
+
+    def firer():
+        yield sim.timeout(100)
+        event.succeed(42)
+
+    sim.spawn(firer())
+    sim.run()
+    assert sorted(got) == [(0, 42), (1, 42), (2, 42)]
+
+
+def test_late_waiter_gets_fired_value_immediately(sim):
+    event = sim.event()
+    event.succeed("early")
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(0, "early")]
+
+
+def test_event_double_fire_raises(sim):
+    event = sim.event("once")
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_event_properties(sim):
+    event = sim.event("named")
+    assert not event.fired
+    assert event.value is None
+    event.succeed(9)
+    assert event.fired
+    assert event.value == 9
+
+
+def test_process_done_event_carries_return_value(sim):
+    def body():
+        yield sim.timeout(1_000)
+        return "result"
+
+    process = sim.spawn(body())
+    got = []
+
+    def waiter():
+        value = yield process.done
+        got.append(value)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == ["result"]
+    assert process.result == "result"
+    assert not process.alive
+
+
+def test_yielding_process_waits_for_termination(sim):
+    order = []
+
+    def child():
+        yield sim.timeout(5_000)
+        order.append("child")
+        return 11
+
+    def parent():
+        spawned = sim.spawn(child())
+        value = yield spawned
+        order.append(("parent", value, sim.now))
+
+    sim.spawn(parent())
+    sim.run()
+    assert order == ["child", ("parent", 11, 5_000)]
+
+
+def test_unsupported_yield_raises(sim):
+    def body():
+        yield "not-a-request"
+
+    sim.spawn(body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_stops_clock(sim):
+    log = []
+
+    def body():
+        yield sim.timeout(10_000)
+        log.append("ran")
+
+    sim.spawn(body())
+    final = sim.run(until=4_000)
+    assert final == 4_000
+    assert log == []
+    sim.run()
+    assert log == ["ran"]
+
+
+def test_peek_reports_next_event_time(sim):
+    def body():
+        yield sim.timeout(3_000)
+
+    sim.spawn(body())
+    assert sim.peek() == 0  # the spawn itself is scheduled at now
+    sim.run()
+    assert sim.peek() is None
+
+
+def test_active_process_count(sim):
+    def body():
+        yield sim.timeout(1)
+
+    sim.spawn(body())
+    sim.spawn(body())
+    assert sim.active_process_count == 2
+    sim.run()
+    assert sim.active_process_count == 0
+
+
+def test_same_time_events_fifo_order(sim):
+    log = []
+
+    def body(tag):
+        yield sim.timeout(1_000)
+        log.append(tag)
+
+    for tag in range(5):
+        sim.spawn(body(tag))
+    sim.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_timeout_repr():
+    assert "5" in repr(Timeout(5))
+
+
+def test_deterministic_replay():
+    def build_and_run():
+        sim = Simulator()
+        log = []
+
+        def body(tag, period):
+            for _ in range(4):
+                yield sim.timeout(period)
+                log.append((sim.now, tag))
+
+        for tag, period in enumerate((700, 1_100, 1_300)):
+            sim.spawn(body(tag, period))
+        sim.run()
+        return log
+
+    assert build_and_run() == build_and_run()
+
+
+def test_nested_generators_compose(sim):
+    log = []
+
+    def inner():
+        yield sim.timeout(2_000)
+        return "inner-done"
+
+    def outer():
+        value = yield from inner()
+        log.append((sim.now, value))
+
+    sim.spawn(outer())
+    sim.run()
+    assert log == [(2_000, "inner-done")]
+
+
+def test_large_time_values(sim):
+    def body():
+        yield sim.timeout(10**15)
+
+    sim.spawn(body())
+    assert sim.run() == 10**15

@@ -1,0 +1,294 @@
+"""Unit tests for stores, resources and FIFO servers."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.queues import FifoServer, Resource, Store
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def test_store_put_then_get(sim):
+    store = Store(sim)
+    store.put("a")
+    got = []
+
+    def consumer():
+        got.append((yield store.get()))
+
+    sim.spawn(consumer())
+    sim.run()
+    assert got == ["a"]
+
+
+def test_store_get_blocks_until_put(sim):
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(4_000)
+        store.put("late")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == [(4_000, "late")]
+
+
+def test_store_fifo_order(sim):
+    store = Store(sim)
+    for item in range(5):
+        store.put(item)
+    got = []
+
+    def consumer():
+        for _ in range(5):
+            got.append((yield store.get()))
+
+    sim.spawn(consumer())
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_getters_served_fifo(sim):
+    store = Store(sim)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    sim.spawn(consumer("first"))
+    sim.spawn(consumer("second"))
+
+    def producer():
+        yield sim.timeout(10)
+        store.put("x")
+        store.put("y")
+
+    sim.spawn(producer())
+    sim.run()
+    assert got == [("first", "x"), ("second", "y")]
+
+
+def test_store_len(sim):
+    store = Store(sim)
+    assert len(store) == 0
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+
+
+# ----------------------------------------------------------------------
+# Resource
+# ----------------------------------------------------------------------
+def test_resource_immediate_grant(sim):
+    resource = Resource(sim)
+    log = []
+
+    def body():
+        yield resource.acquire()
+        log.append(sim.now)
+        resource.release()
+
+    sim.spawn(body())
+    sim.run()
+    assert log == [0]
+    assert not resource.busy
+
+
+def test_resource_mutual_exclusion(sim):
+    resource = Resource(sim)
+    log = []
+
+    def body(tag):
+        yield resource.acquire()
+        log.append((tag, "in", sim.now))
+        yield sim.timeout(1_000)
+        log.append((tag, "out", sim.now))
+        resource.release()
+
+    sim.spawn(body("a"))
+    sim.spawn(body("b"))
+    sim.run()
+    assert log == [
+        ("a", "in", 0),
+        ("a", "out", 1_000),
+        ("b", "in", 1_000),
+        ("b", "out", 2_000),
+    ]
+
+
+def test_resource_fifo_queue(sim):
+    resource = Resource(sim)
+    order = []
+
+    def body(tag):
+        yield resource.acquire()
+        order.append(tag)
+        yield sim.timeout(10)
+        resource.release()
+
+    for tag in range(4):
+        sim.spawn(body(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_resource_release_idle_raises(sim):
+    resource = Resource(sim)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_resource_utilization(sim):
+    resource = Resource(sim)
+
+    def body():
+        yield resource.acquire()
+        yield sim.timeout(4_000)
+        resource.release()
+        yield sim.timeout(6_000)
+
+    sim.spawn(body())
+    sim.run()
+    assert resource.utilization() == pytest.approx(0.4)
+
+
+def test_resource_queue_length(sim):
+    resource = Resource(sim)
+    seen = []
+
+    def holder():
+        yield resource.acquire()
+        yield sim.timeout(100)
+        seen.append(resource.queue_length)
+        resource.release()
+
+    def waiter():
+        yield resource.acquire()
+        resource.release()
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.run()
+    assert seen == [1]
+
+
+def test_resource_grant_count(sim):
+    resource = Resource(sim)
+
+    def body():
+        yield resource.acquire()
+        resource.release()
+
+    for _ in range(3):
+        sim.spawn(body())
+    sim.run()
+    assert resource.grants == 3
+
+
+# ----------------------------------------------------------------------
+# FifoServer
+# ----------------------------------------------------------------------
+def test_fifo_server_single_request(sim):
+    server = FifoServer(sim, service_time=5_000)
+    done = []
+
+    def body():
+        yield server.request()
+        done.append(sim.now)
+
+    sim.spawn(body())
+    sim.run()
+    assert done == [5_000]
+
+
+def test_fifo_server_requests_queue(sim):
+    server = FifoServer(sim, service_time=5_000)
+    done = []
+
+    def body(tag):
+        yield server.request()
+        done.append((tag, sim.now))
+
+    sim.spawn(body("a"))
+    sim.spawn(body("b"))
+    sim.run()
+    assert done == [("a", 5_000), ("b", 10_000)]
+
+
+def test_fifo_server_idle_gap_not_counted(sim):
+    server = FifoServer(sim, service_time=1_000)
+    done = []
+
+    def body():
+        yield server.request()
+        yield sim.timeout(10_000)
+        yield server.request()
+        done.append(sim.now)
+
+    sim.spawn(body())
+    sim.run()
+    assert done == [12_000]
+    assert server.mean_wait() == 0.0
+
+
+def test_fifo_server_mean_wait(sim):
+    server = FifoServer(sim, service_time=2_000)
+
+    def body():
+        yield server.request()
+
+    sim.spawn(body())
+    sim.spawn(body())
+    sim.run()
+    # First waits 0, second waits 2000.
+    assert server.mean_wait() == pytest.approx(1_000)
+
+
+def test_fifo_server_custom_service_time(sim):
+    server = FifoServer(sim, service_time=1_000)
+    done = []
+
+    def body():
+        yield server.request(service_time=7_000)
+        done.append(sim.now)
+
+    sim.spawn(body())
+    sim.run()
+    assert done == [7_000]
+
+
+def test_fifo_server_utilization(sim):
+    server = FifoServer(sim, service_time=3_000)
+
+    def body():
+        yield server.request()
+        yield sim.timeout(7_000)
+
+    sim.spawn(body())
+    sim.run()
+    assert server.utilization() == pytest.approx(0.3)
+
+
+def test_fifo_server_negative_service_rejected(sim):
+    with pytest.raises(ValueError):
+        FifoServer(sim, service_time=-1)
+
+
+def test_fifo_server_request_count(sim):
+    server = FifoServer(sim, service_time=10)
+
+    def body():
+        yield server.request()
+
+    for _ in range(5):
+        sim.spawn(body())
+    sim.run()
+    assert server.requests == 5

@@ -1,0 +1,119 @@
+"""Unit and property tests for the deterministic RNG helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import (
+    DeterministicRng,
+    substream_seed,
+    zipf_cumulative_weights,
+)
+
+
+def test_same_seed_same_stream_reproduces():
+    a = DeterministicRng(7, stream=3)
+    b = DeterministicRng(7, stream=3)
+    assert [a.uniform() for _ in range(50)] == [b.uniform() for _ in range(50)]
+
+
+def test_different_streams_differ():
+    a = DeterministicRng(7, stream=0)
+    b = DeterministicRng(7, stream=1)
+    assert [a.uniform() for _ in range(10)] != [b.uniform() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRng(1, stream=0)
+    b = DeterministicRng(2, stream=0)
+    assert [a.uniform() for _ in range(10)] != [b.uniform() for _ in range(10)]
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.integers(0, 10_000))
+def test_substream_seed_is_64_bit(seed, stream):
+    value = substream_seed(seed, stream)
+    assert 0 <= value < 2**64
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+def test_substream_adjacent_streams_differ(seed):
+    assert substream_seed(seed, 0) != substream_seed(seed, 1)
+
+
+def test_uniform_in_unit_interval():
+    rng = DeterministicRng(42)
+    for _ in range(1000):
+        value = rng.uniform()
+        assert 0.0 <= value < 1.0
+
+
+def test_randint_bounds_inclusive():
+    rng = DeterministicRng(42)
+    values = {rng.randint(3, 5) for _ in range(200)}
+    assert values == {3, 4, 5}
+
+
+def test_bernoulli_extremes():
+    rng = DeterministicRng(42)
+    assert not any(rng.bernoulli(0.0) for _ in range(100))
+    assert all(rng.bernoulli(1.0) for _ in range(100))
+
+
+def test_bernoulli_rate_reasonable():
+    rng = DeterministicRng(42)
+    hits = sum(rng.bernoulli(0.3) for _ in range(10_000))
+    assert 0.27 < hits / 10_000 < 0.33
+
+
+def test_choice_returns_member():
+    rng = DeterministicRng(42)
+    options = ["x", "y", "z"]
+    for _ in range(50):
+        assert rng.choice(options) in options
+
+
+def test_geometric_mean_one_is_constant():
+    rng = DeterministicRng(42)
+    assert all(rng.geometric(1.0) == 1 for _ in range(100))
+
+
+def test_geometric_support_is_positive():
+    rng = DeterministicRng(42)
+    assert all(rng.geometric(5.0) >= 1 for _ in range(1000))
+
+
+@pytest.mark.parametrize("mean", [2.0, 8.0, 50.0])
+def test_geometric_sample_mean_close(mean):
+    rng = DeterministicRng(7)
+    n = 20_000
+    sample = sum(rng.geometric(mean) for _ in range(n)) / n
+    assert abs(sample - mean) / mean < 0.08
+
+
+def test_zipf_weights_monotone():
+    weights = zipf_cumulative_weights(100, 0.8)
+    assert len(weights) == 100
+    assert all(b > a for a, b in zip(weights, weights[1:]))
+
+
+def test_zipf_index_in_range():
+    rng = DeterministicRng(11)
+    weights = zipf_cumulative_weights(64, 0.6)
+    for _ in range(500):
+        assert 0 <= rng.zipf_index(64, weights) < 64
+
+
+def test_zipf_skews_to_low_ranks():
+    rng = DeterministicRng(11)
+    weights = zipf_cumulative_weights(1000, 1.0)
+    draws = [rng.zipf_index(1000, weights) for _ in range(5000)]
+    low = sum(1 for draw in draws if draw < 100)
+    assert low > 1_500  # far more than the uniform 500
+
+
+@given(st.integers(1, 500), st.floats(0.0, 2.0))
+@settings(max_examples=30)
+def test_zipf_weights_length_and_positive(size, exponent):
+    weights = zipf_cumulative_weights(size, exponent)
+    assert len(weights) == size
+    assert weights[0] > 0.0
