@@ -8,11 +8,18 @@ survive pytest's output capturing.
 Simulations are shared across benches through the process-wide cache
 in ``repro.core.experiment`` (same mechanism as the paper: one
 trace-driven run feeds many model curves), so the full harness costs
-far less than the sum of its parts.
+far less than the sum of its parts.  They are also shared across
+*harness invocations*: an autouse session fixture points the
+persistent result store (``repro.core.store``) at
+``benchmarks/.cache`` -- override with ``REPRO_CACHE_DIR``, or set
+``REPRO_NO_CACHE=1`` to force fresh simulations -- so a second run of
+the full harness is mostly cache hits.  Simulations are deterministic,
+so cached and fresh runs emit byte-identical artefacts.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -23,6 +30,30 @@ REFS_SPLASH = 6_000
 REFS_MIT = 2_500
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: Default persistent store location for the harness.
+CACHE_DIR = pathlib.Path(__file__).parent / ".cache"
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _persistent_result_store():
+    """Back the whole harness session with the on-disk result store."""
+    from repro.core.experiment import cache_counters
+    from repro.core.store import configure_result_store
+
+    directory = os.environ.get("REPRO_CACHE_DIR") or CACHE_DIR
+    enabled = not os.environ.get("REPRO_NO_CACHE")
+    store = configure_result_store(directory, enabled=enabled)
+    before = cache_counters()
+    yield
+    after = cache_counters()
+    print(
+        "\nresult cache: "
+        f"{after['misses'] - before['misses']} simulated, "
+        f"{after['memo_hits'] - before['memo_hits']} memo hits, "
+        f"{after['disk_hits'] - before['disk_hits']} disk hits "
+        f"({store.entry_count()} entries in {store.directory})"
+    )
 
 
 def emit(name: str, text: str) -> None:

@@ -20,9 +20,13 @@ from typing import Optional, Sequence
 from repro.analysis.figures import render_sweeps
 from repro.analysis.tables import render_table
 from repro.core.config import Protocol, SystemConfig
-from repro.core.experiment import DEFAULT_DATA_REFS, run_simulation
+from repro.core.experiment import (
+    DEFAULT_DATA_REFS,
+    cache_counters,
+    run_simulation,
+)
 from repro.core.hybrid import hybrid_sweep, validate_model
-from repro.core.sweep import ring_vs_bus, snooping_vs_directory
+from repro.core.sweep import figure3_panels, ring_vs_bus, snooping_vs_directory
 from repro.models.snoop_rate import snoop_rate_table
 from repro.traces.benchmarks import available_configurations
 
@@ -57,6 +61,26 @@ def build_parser() -> argparse.ArgumentParser:
             default=DEFAULT_DATA_REFS,
             help="data references per processor "
             f"(default {DEFAULT_DATA_REFS})",
+        )
+        sub.add_argument(
+            "-j",
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for independent simulations "
+            "(default 1 = serial; results are identical either way)",
+        )
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="persistent result-cache directory "
+            "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+        sub.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the persistent on-disk result cache",
         )
 
     simulate = commands.add_parser(
@@ -106,6 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="snooping vs directory panels (Figure 3/4 style)"
     )
     add_workload_arguments(compare)
+    compare.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="render one panel per system size (e.g. --sizes 8 16 32 "
+        "for a Figure 3 column); default: just --processors",
+    )
 
     ringbus = commands.add_parser(
         "ringbus", help="ring vs bus panels (Figure 6 style)"
@@ -125,6 +158,55 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("snooprate", help="print Table 3 (snooping rate)")
     commands.add_parser("benchmarks", help="list workload configurations")
     return parser
+
+
+def _configure_execution(args: argparse.Namespace) -> None:
+    """Apply --cache-dir / --no-cache to the process-wide store."""
+    from repro.core.store import configure_result_store
+
+    cache_dir = getattr(args, "cache_dir", None)
+    no_cache = getattr(args, "no_cache", False)
+    if cache_dir is not None or no_cache:
+        configure_result_store(cache_dir, enabled=not no_cache)
+
+
+def _progress_printer(args: argparse.Namespace):
+    """A per-point progress callback writing to stderr (or None)."""
+    if getattr(args, "jobs", 1) <= 1:
+        return None
+
+    def emit(done: int, total: int, outcome) -> None:
+        point = outcome.point
+        source = "cache hit" if outcome.cache_hit else "simulated"
+        print(
+            f"[{done}/{total}] {point.benchmark}@{point.num_processors}p "
+            f"{point.protocol.value}: {source} in {outcome.wall_s:.2f}s",
+            file=sys.stderr,
+        )
+
+    return emit
+
+
+def _print_cache_summary(
+    args: argparse.Namespace, before: dict, wall_s: float
+) -> None:
+    if getattr(args, "jobs", 1) > 1:
+        # Worker activity is reported per point by the progress
+        # callback; parent counters would only show cache lookups.
+        print(f"done in {wall_s:.2f}s", file=sys.stderr)
+        return
+    after = cache_counters()
+    hits = (
+        after["memo_hits"]
+        - before["memo_hits"]
+        + after["disk_hits"]
+        - before["disk_hits"]
+    )
+    misses = after["misses"] - before["misses"]
+    print(
+        f"done in {wall_s:.2f}s: {misses} simulated, {hits} cache hits",
+        file=sys.stderr,
+    )
 
 
 def _system_config(args: argparse.Namespace) -> SystemConfig:
@@ -210,16 +292,50 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    sweeps = snooping_vs_directory(
-        args.benchmark, args.processors, data_refs=args.refs
-    )
-    _print_sweeps(sweeps, f"{args.benchmark}-{args.processors}")
+    import time
+
+    sizes = args.sizes or [args.processors]
+    before = cache_counters()
+    started = time.perf_counter()
+    if len(sizes) == 1:
+        sweeps = snooping_vs_directory(
+            args.benchmark,
+            sizes[0],
+            data_refs=args.refs,
+            jobs=args.jobs,
+            progress=_progress_printer(args),
+        )
+        _print_sweeps(sweeps, f"{args.benchmark}-{sizes[0]}")
+    else:
+        panels = [(args.benchmark, procs) for procs in sizes]
+        grid, report = figure3_panels(
+            panels,
+            data_refs=args.refs,
+            jobs=args.jobs,
+            progress=_progress_printer(args),
+        )
+        for name, procs in panels:
+            _print_sweeps(grid[(name, procs)], f"{name}-{procs}")
+        if args.jobs > 1:
+            print(report.render(), file=sys.stderr)
+    _print_cache_summary(args, before, time.perf_counter() - started)
     return 0
 
 
 def _command_ringbus(args: argparse.Namespace) -> int:
-    sweeps = ring_vs_bus(args.benchmark, args.processors, data_refs=args.refs)
+    import time
+
+    before = cache_counters()
+    started = time.perf_counter()
+    sweeps = ring_vs_bus(
+        args.benchmark,
+        args.processors,
+        data_refs=args.refs,
+        jobs=args.jobs,
+        progress=_progress_printer(args),
+    )
     _print_sweeps(sweeps, f"{args.benchmark}-{args.processors}")
+    _print_cache_summary(args, before, time.perf_counter() - started)
     return 0
 
 
@@ -306,6 +422,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_execution(args)
     return _HANDLERS[args.command](args)
 
 

@@ -36,6 +36,8 @@ __all__ = [
     "reset_engine_statistics",
     "run_simulation",
     "run_simulation_cached",
+    "prime_simulation_cache",
+    "cache_counters",
     "clear_simulation_cache",
     "DEFAULT_DATA_REFS",
 ]
@@ -248,9 +250,42 @@ def _extract_inputs(
 
 
 # ----------------------------------------------------------------------
-# Process-wide result cache
+# Result caching: in-process memo + persistent content-addressed store
 # ----------------------------------------------------------------------
 _CACHE: Dict[Tuple, SimulationResult] = {}
+
+#: Lookup counters for cache-effectiveness reporting; see
+#: :func:`cache_counters`.
+_COUNTERS = {"memo_hits": 0, "disk_hits": 0, "misses": 0}
+
+
+def _normalised_config(
+    benchmark: str,
+    num_processors: int,
+    protocol: Protocol,
+    config: Optional[SystemConfig],
+) -> SystemConfig:
+    base = config or SystemConfig(
+        num_processors=num_processors, protocol=protocol
+    )
+    return replace(base, num_processors=num_processors, protocol=protocol)
+
+
+def _memo_key(
+    benchmark: str, data_refs: int, config: SystemConfig
+) -> Tuple:
+    return (
+        benchmark,
+        config.num_processors,
+        config.protocol,
+        data_refs,
+        config.seed,
+        config.ring,
+        config.bus,
+        config.cache,
+        config.memory,
+        config.processor,
+    )
 
 
 def run_simulation_cached(
@@ -260,40 +295,80 @@ def run_simulation_cached(
     data_refs: int = DEFAULT_DATA_REFS,
     config: Optional[SystemConfig] = None,
 ) -> SimulationResult:
-    """Memoised :func:`run_simulation` (keyed by the full setup).
+    """Cached :func:`run_simulation` (keyed by the full setup).
+
+    Two layers back the memoisation:
+
+    1. an in-process dict (one entry per distinct setup), and
+    2. the persistent content-addressed store of
+       :mod:`repro.core.store`, shared across worker processes and
+       across sessions.
 
     The benchmark harness regenerates several tables and figures from
     the same underlying runs, exactly as the paper reuses one
-    simulation per configuration to drive many model curves.
+    simulation per configuration to drive many model curves; the disk
+    layer extends that reuse to repeated harness invocations and to
+    parallel sweep workers.
     """
-    base = config or SystemConfig(
-        num_processors=num_processors, protocol=protocol
-    )
-    base = replace(base, num_processors=num_processors, protocol=protocol)
-    key = (
-        benchmark,
-        num_processors,
-        protocol,
-        data_refs,
-        base.seed,
-        base.ring,
-        base.bus,
-        base.cache,
-        base.memory,
-        base.processor,
-    )
+    from repro.core.store import get_result_store
+
+    base = _normalised_config(benchmark, num_processors, protocol, config)
+    key = _memo_key(benchmark, data_refs, base)
     result = _CACHE.get(key)
-    if result is None:
-        result = run_simulation(
-            benchmark,
-            config=base,
-            data_refs=data_refs,
-            num_processors=num_processors,
-        )
+    if result is not None:
+        _COUNTERS["memo_hits"] += 1
+        return result
+    store = get_result_store()
+    result = store.get(benchmark, data_refs, base)
+    if result is not None:
+        _COUNTERS["disk_hits"] += 1
         _CACHE[key] = result
+        return result
+    _COUNTERS["misses"] += 1
+    result = run_simulation(
+        benchmark,
+        config=base,
+        data_refs=data_refs,
+        num_processors=num_processors,
+    )
+    _CACHE[key] = result
+    store.put(benchmark, data_refs, base, result)
     return result
 
 
-def clear_simulation_cache() -> None:
-    """Drop all memoised simulation results."""
+def prime_simulation_cache(
+    benchmark: str,
+    data_refs: int,
+    config: SystemConfig,
+    result: SimulationResult,
+) -> None:
+    """Insert an externally computed result into the in-process memo.
+
+    The parallel sweep executor uses this to make worker-produced
+    results visible to subsequent :func:`run_simulation_cached` calls
+    in the parent even when the persistent store is disabled.
+    """
+    _CACHE[_memo_key(benchmark, data_refs, config)] = result
+
+
+def cache_counters() -> Dict[str, int]:
+    """Snapshot of lookup counters: memo_hits / disk_hits / misses."""
+    return dict(_COUNTERS)
+
+
+def clear_simulation_cache(disk: bool = True) -> None:
+    """Drop all memoised simulation results.
+
+    With ``disk`` (the default) the persistent store is invalidated
+    too: its key namespace is bumped so no existing on-disk entry can
+    be hit from this process again (files belonging to other sessions
+    are not deleted -- use ``get_result_store().purge()`` for that).
+    Tests use this, or :func:`repro.core.store.temp_result_store`, to
+    isolate cache state.
+    """
     _CACHE.clear()
+    if disk:
+        from repro.core import store as store_module
+
+        if store_module._ACTIVE_STORE is not None:
+            store_module._ACTIVE_STORE.invalidate()

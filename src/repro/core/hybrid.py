@@ -30,6 +30,8 @@ from repro.models.ring_snooping import SnoopingRingModel
 
 __all__ = [
     "hybrid_sweep",
+    "extraction_point",
+    "sweep_from_result",
     "validate_model",
     "ValidationReport",
     "model_for",
@@ -60,6 +62,72 @@ def model_for(config: SystemConfig, result: SimulationResult):
     return DirectoryRingModel(config, result.inputs)
 
 
+def _target_config(
+    num_processors: int,
+    protocol: Protocol,
+    config: Optional[SystemConfig],
+) -> SystemConfig:
+    base = config or SystemConfig(
+        num_processors=num_processors, protocol=protocol
+    )
+    return replace(base, num_processors=num_processors, protocol=protocol)
+
+
+def extraction_point(
+    benchmark: str,
+    num_processors: int,
+    protocol: Protocol,
+    config: Optional[SystemConfig] = None,
+    data_refs: int = DEFAULT_DATA_REFS,
+    extraction_protocol: Optional[Protocol] = None,
+) -> "SweepPoint":
+    """The simulation a hybrid sweep needs, as a schedulable point.
+
+    This is the parameter-extraction half of :func:`hybrid_sweep`
+    reified as a :class:`repro.core.parallel.SweepPoint`, so callers
+    assembling many panels (Figure 3's nine, Figure 6's four curves...)
+    can fan every extraction out across a process pool with
+    :func:`repro.core.parallel.execute_points` and then finish each
+    sweep with :func:`sweep_from_result` -- bit-identical to calling
+    :func:`hybrid_sweep` serially, because the simulation itself is
+    unchanged.
+    """
+    from repro.core.parallel import SweepPoint
+
+    if extraction_protocol is None:
+        extraction_protocol = (
+            Protocol.SNOOPING if protocol is Protocol.BUS else protocol
+        )
+    base = _target_config(num_processors, protocol, config)
+    extraction_config = replace(
+        base,
+        protocol=extraction_protocol,
+        processor=replace(base.processor, cycle_ps=EXTRACTION_CYCLE_PS),
+    )
+    return SweepPoint(
+        benchmark=benchmark,
+        num_processors=num_processors,
+        protocol=extraction_protocol,
+        data_refs=data_refs,
+        config=extraction_config,
+    )
+
+
+def sweep_from_result(
+    simulated: SimulationResult,
+    num_processors: int,
+    protocol: Protocol,
+    config: Optional[SystemConfig] = None,
+    cycles_ns: Optional[Sequence[float]] = None,
+) -> SweepResult:
+    """The model half of a hybrid sweep, from a finished extraction."""
+    base = _target_config(num_processors, protocol, config)
+    model = model_for(base, simulated)
+    return model.sweep(
+        list(cycles_ns) if cycles_ns else list(PAPER_CYCLE_SWEEP_NS)
+    )
+
+
 def hybrid_sweep(
     benchmark: str,
     num_processors: int,
@@ -76,28 +144,24 @@ def hybrid_sweep(
     both interconnects); it defaults to ``protocol`` for ring sweeps
     and to snooping for bus sweeps.
     """
-    if extraction_protocol is None:
-        extraction_protocol = (
-            Protocol.SNOOPING if protocol is Protocol.BUS else protocol
-        )
-    base = config or SystemConfig(
-        num_processors=num_processors, protocol=protocol
-    )
-    base = replace(base, num_processors=num_processors, protocol=protocol)
-    extraction_config = replace(
-        base,
-        protocol=extraction_protocol,
-        processor=replace(base.processor, cycle_ps=EXTRACTION_CYCLE_PS),
+    point = extraction_point(
+        benchmark,
+        num_processors,
+        protocol,
+        config=config,
+        data_refs=data_refs,
+        extraction_protocol=extraction_protocol,
     )
     simulated = run_simulation_cached(
         benchmark,
         num_processors,
-        extraction_protocol,
+        point.protocol,
         data_refs=data_refs,
-        config=extraction_config,
+        config=point.config,
     )
-    model = model_for(base, simulated)
-    return model.sweep(list(cycles_ns) if cycles_ns else list(PAPER_CYCLE_SWEEP_NS))
+    return sweep_from_result(
+        simulated, num_processors, protocol, config=config, cycles_ns=cycles_ns
+    )
 
 
 @dataclass(frozen=True)

@@ -113,6 +113,24 @@ class TraversalHistogram:
             raise ValueError("traversals must be non-negative")
         self._counts[traversals] += 1
 
+    def as_counts(self) -> Dict[int, int]:
+        """Raw ``{traversals: transactions}`` counts (serialisation)."""
+        return dict(self._counts)
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[int, int]) -> "TraversalHistogram":
+        """Rebuild a histogram from :meth:`as_counts` output."""
+        histogram = cls()
+        for traversals, count in counts.items():
+            if count:
+                histogram._counts[int(traversals)] = int(count)
+        return histogram
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraversalHistogram):
+            return NotImplemented
+        return +self._counts == +other._counts
+
     @property
     def total(self) -> int:
         return sum(self._counts.values())

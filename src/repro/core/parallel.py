@@ -1,0 +1,323 @@
+"""Parallel sweep execution over a process pool.
+
+The paper's hybrid methodology exists to make design-space sweeps
+cheap: one detailed simulation per configuration, then fast analytical
+models.  The remaining cost is the set of trace-driven simulations
+themselves, which are embarrassingly parallel -- every sweep point is
+an independent, fully deterministic run.  This module fans those
+points out across a :class:`concurrent.futures.ProcessPoolExecutor`
+while keeping three guarantees:
+
+* **Bit-identical results.**  A worker runs exactly the same
+  ``run_simulation`` a serial caller would; all randomness flows from
+  the per-point config seed (see :func:`derive_seed` for deterministic
+  per-point seeding), and the kernel's event ordering is deterministic,
+  so ``jobs=8`` produces the same :class:`SimulationResult` values as
+  ``jobs=1``.  The determinism test suite asserts this.
+* **Shared persistent cache.**  Workers read and write the
+  content-addressed store of :mod:`repro.core.store`, so concurrent
+  workers, later sweep points, and future sessions all reuse completed
+  runs.  Results are also primed into the parent's in-process memo, so
+  follow-up ``run_simulation_cached`` calls (model builders, tables)
+  hit without touching disk.
+* **Order preservation.**  ``execute_points`` returns results in input
+  order regardless of completion order.
+
+A lightweight :class:`SweepReport` carries per-point wall times and
+cache-hit counts for progress/efficiency reporting (the CLI prints it
+after ``--jobs N`` runs).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import Protocol, SystemConfig
+from repro.core.experiment import (
+    DEFAULT_DATA_REFS,
+    cache_counters,
+    prime_simulation_cache,
+    run_simulation_cached,
+)
+from repro.core.results import SimulationResult
+
+__all__ = [
+    "SweepPoint",
+    "PointOutcome",
+    "SweepReport",
+    "derive_seed",
+    "execute_points",
+]
+
+#: Splitmix-style increment for per-point seed derivation.
+_GOLDEN64 = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """A well-separated deterministic seed for sweep point ``index``.
+
+    Mirrors :func:`repro.sim.rng.substream_seed` so that sweeps needing
+    distinct per-point randomness (e.g. replication batches built from
+    one base seed) stay reproducible from ``(base_seed, index)`` alone,
+    independent of worker scheduling.  Clamped to 63 bits so it stays a
+    valid config seed everywhere.
+    """
+    z = (base_seed + (index + 1) * _GOLDEN64) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & (_MASK64 >> 1)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation in a sweep.
+
+    ``config`` (when given) carries every machine parameter; ``seed``
+    (when given) overrides the config's seed -- the executor applies it
+    with ``dataclasses.replace`` so per-point RNG seeding is explicit
+    and deterministic rather than inherited from ambient state.
+    """
+
+    benchmark: str
+    num_processors: int
+    protocol: Protocol
+    data_refs: int = DEFAULT_DATA_REFS
+    config: Optional[SystemConfig] = None
+    seed: Optional[int] = None
+
+    def resolved_config(self) -> SystemConfig:
+        """The full config this point simulates."""
+        base = self.config or SystemConfig(
+            num_processors=self.num_processors, protocol=self.protocol
+        )
+        base = replace(
+            base,
+            num_processors=self.num_processors,
+            protocol=self.protocol,
+        )
+        if self.seed is not None:
+            base = replace(base, seed=self.seed)
+        return base
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """Execution record for one sweep point."""
+
+    point: SweepPoint
+    result: SimulationResult
+    #: Whether any cache layer (memo or disk) supplied the result.
+    cache_hit: bool
+    #: Wall-clock seconds spent obtaining the result (lookup or run).
+    wall_s: float
+    #: Index of the worker that ran the point (0 for in-process).
+    worker: int
+
+
+@dataclass
+class SweepReport:
+    """What a sweep execution did: results plus efficiency metrics."""
+
+    outcomes: List[PointOutcome] = field(default_factory=list)
+    total_wall_s: float = 0.0
+    jobs: int = 1
+
+    @property
+    def results(self) -> List[SimulationResult]:
+        """Results in input-point order."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def points_done(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cache_hit)
+
+    @property
+    def hit_rate(self) -> float:
+        done = self.points_done
+        return self.cache_hits / done if done else 0.0
+
+    @property
+    def mean_wall_s(self) -> float:
+        done = self.points_done
+        if not done:
+            return 0.0
+        return sum(outcome.wall_s for outcome in self.outcomes) / done
+
+    def render(self) -> str:
+        """A one-paragraph human-readable execution summary."""
+        lines = [
+            f"sweep: {self.points_done} points, jobs={self.jobs}, "
+            f"{self.cache_hits} cache hits ({self.hit_rate:.0%}), "
+            f"{self.total_wall_s:.2f}s wall "
+            f"({self.mean_wall_s:.2f}s/point mean)"
+        ]
+        for index, outcome in enumerate(self.outcomes):
+            point = outcome.point
+            source = "cache" if outcome.cache_hit else "simulated"
+            lines.append(
+                f"  [{index}] {point.benchmark}@{point.num_processors}p "
+                f"{point.protocol.value}: {source}, "
+                f"{outcome.wall_s:.2f}s (worker {outcome.worker})"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_init(
+    cache_dir: Optional[str], cache_enabled: bool, generation: int
+) -> None:
+    """Configure the persistent store inside a pool worker.
+
+    Explicit (rather than relying on fork-inherited globals) so the
+    executor behaves identically under the ``spawn`` start method.  The
+    parent's namespace ``generation`` is forwarded so entries it has
+    invalidated (via ``clear_simulation_cache``) stay invisible to
+    workers too.
+    """
+    from repro.core.store import configure_result_store
+
+    store = configure_result_store(cache_dir, enabled=cache_enabled)
+    store._generation = generation
+
+
+def _evaluate_point(
+    indexed: Tuple[int, SweepPoint]
+) -> Tuple[int, SimulationResult, bool, float, int]:
+    """Run (or look up) one point; returns result + execution record."""
+    index, point = indexed
+    config = point.resolved_config()
+    before = cache_counters()
+    start = time.perf_counter()
+    result = run_simulation_cached(
+        point.benchmark,
+        point.num_processors,
+        point.protocol,
+        data_refs=point.data_refs,
+        config=config,
+    )
+    wall = time.perf_counter() - start
+    after = cache_counters()
+    hit = after["misses"] == before["misses"]
+    return index, result, hit, wall, os.getpid()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+ProgressCallback = Callable[[int, int, PointOutcome], None]
+
+
+def execute_points(
+    points: Sequence[SweepPoint],
+    jobs: int = 1,
+    cache_dir: "Optional[str | os.PathLike]" = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepReport:
+    """Evaluate every sweep point, fanning out across processes.
+
+    ``jobs=1`` runs in-process (no pool overhead); ``jobs>1`` uses a
+    ``ProcessPoolExecutor``.  ``cache_dir`` redirects the persistent
+    store for this execution **and** its workers (the previously active
+    store is reinstated afterwards); ``use_cache=False`` disables the
+    persistent layer (results still flow back and prime the parent
+    memo).  ``progress`` is invoked in the parent as
+    ``progress(done, total, outcome)`` after each point completes
+    (completion order, not input order).
+
+    Returns a :class:`SweepReport` whose ``results`` are ordered like
+    ``points``.
+    """
+    from repro.core import store as store_module
+
+    points = list(points)
+    report = SweepReport(jobs=max(1, jobs))
+    if not points:
+        return report
+    started = time.perf_counter()
+    slots: List[Optional[PointOutcome]] = [None] * len(points)
+    done = 0
+
+    previous_store = store_module._ACTIVE_STORE
+    overrode_store = cache_dir is not None or not use_cache
+    if overrode_store:
+        store = store_module.configure_result_store(
+            os.fspath(cache_dir) if cache_dir is not None else None,
+            enabled=use_cache,
+        )
+    else:
+        store = store_module.get_result_store()
+    worker_dir = os.fspath(store.directory) if store.enabled else None
+
+    try:
+        if report.jobs == 1:
+            for index, point in enumerate(points):
+                _, result, hit, wall, pid = _evaluate_point((index, point))
+                outcome = PointOutcome(point, result, hit, wall, worker=0)
+                slots[index] = outcome
+                done += 1
+                if progress is not None:
+                    progress(done, len(points), outcome)
+        else:
+            pool_cm = ProcessPoolExecutor(
+                max_workers=report.jobs,
+                initializer=_worker_init,
+                initargs=(worker_dir, store.enabled, store._generation),
+            )
+            with pool_cm as pool:
+                pending = {
+                    pool.submit(_evaluate_point, (index, point))
+                    for index, point in enumerate(points)
+                }
+                workers: Dict[int, int] = {}
+                while pending:
+                    finished, pending = wait(
+                        pending, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        index, result, hit, wall, pid = future.result()
+                        worker = workers.setdefault(pid, len(workers))
+                        outcome = PointOutcome(
+                            points[index], result, hit, wall, worker=worker
+                        )
+                        slots[index] = outcome
+                        done += 1
+                        if progress is not None:
+                            progress(done, len(points), outcome)
+    finally:
+        if overrode_store:
+            store_module._ACTIVE_STORE = previous_store
+
+    report.outcomes = [outcome for outcome in slots if outcome is not None]
+    report.total_wall_s = time.perf_counter() - started
+    for outcome in report.outcomes:
+        prime_simulation_cache(
+            outcome.point.benchmark,
+            outcome.point.data_refs,
+            outcome.point.resolved_config(),
+            outcome.result,
+        )
+    return report
+
+
+def point_results(
+    points: Sequence[SweepPoint],
+    jobs: int = 1,
+    **kwargs: Any,
+) -> List[SimulationResult]:
+    """Convenience wrapper: just the ordered results."""
+    return execute_points(points, jobs=jobs, **kwargs).results
+
+
+__all__.append("point_results")

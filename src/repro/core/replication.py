@@ -107,12 +107,16 @@ def replicate(
     seeds: Sequence[int] = DEFAULT_SEEDS,
     data_refs: int = DEFAULT_DATA_REFS,
     config: Optional[SystemConfig] = None,
+    jobs: int = 1,
 ) -> ReplicationReport:
     """Run one configuration under several seeds and summarise.
 
     Each seed reshuffles both the synthetic reference streams and the
     page-to-home assignment, so the spread covers workload *and*
-    placement variation.
+    placement variation.  Replications are independent, so ``jobs > 1``
+    fans them out across worker processes (per-seed results are
+    identical to the serial path: each run is seeded explicitly and
+    deterministic).
     """
     if not seeds:
         raise ValueError("need at least one seed")
@@ -120,15 +124,34 @@ def replicate(
         num_processors=num_processors, protocol=protocol
     )
     base = replace(base, num_processors=num_processors, protocol=protocol)
-    results = [
-        run_simulation(
-            benchmark,
-            config=replace(base, seed=seed),
-            data_refs=data_refs,
-            num_processors=num_processors,
+    if jobs > 1:
+        from repro.core.parallel import SweepPoint, execute_points
+
+        report = execute_points(
+            [
+                SweepPoint(
+                    benchmark,
+                    num_processors,
+                    protocol,
+                    data_refs,
+                    config=base,
+                    seed=seed,
+                )
+                for seed in seeds
+            ],
+            jobs=jobs,
         )
-        for seed in seeds
-    ]
+        results = report.results
+    else:
+        results = [
+            run_simulation(
+                benchmark,
+                config=replace(base, seed=seed),
+                data_refs=data_refs,
+                num_processors=num_processors,
+            )
+            for seed in seeds
+        ]
     metrics = {
         name: MetricSummary(
             name=name, values=tuple(extract(result) for result in results)

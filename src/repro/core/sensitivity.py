@@ -79,27 +79,51 @@ def sensitivity_sweep(
     protocol: Protocol = Protocol.SNOOPING,
     data_refs: int = DEFAULT_DATA_REFS,
     base_config: Optional[SystemConfig] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, float]]:
     """Simulate the benchmark across parameter values.
 
     Returns one row per value with the headline metrics; the
     simulations are full runs, so emergent effects (miss-rate change
     with cache size, frame-geometry change with link width) are
-    captured, not modelled.
+    captured, not modelled.  Each value is an independent simulation,
+    so ``jobs > 1`` evaluates them across worker processes with
+    identical per-value results.
     """
     base = base_config or SystemConfig(
         num_processors=num_processors, protocol=protocol
     )
     base = replace(base, num_processors=num_processors, protocol=protocol)
-    rows: List[Dict[str, float]] = []
-    for value in values:
-        config = apply_parameter(base, parameter, value)
-        result: SimulationResult = run_simulation(
-            benchmark,
-            config=config,
-            data_refs=data_refs,
-            num_processors=num_processors,
+    configs = [apply_parameter(base, parameter, value) for value in values]
+    if jobs > 1:
+        from repro.core.parallel import SweepPoint, execute_points
+
+        report = execute_points(
+            [
+                SweepPoint(
+                    benchmark,
+                    num_processors,
+                    protocol,
+                    data_refs,
+                    config=config,
+                )
+                for config in configs
+            ],
+            jobs=jobs,
         )
+        results = report.results
+    else:
+        results = [
+            run_simulation(
+                benchmark,
+                config=config,
+                data_refs=data_refs,
+                num_processors=num_processors,
+            )
+            for config in configs
+        ]
+    rows: List[Dict[str, float]] = []
+    for value, result in zip(values, results):
         rows.append(
             {
                 parameter: value,

@@ -1,0 +1,460 @@
+"""Persistent, content-addressed simulation result store.
+
+The paper's trace-driven runs took 6-8 CPU-hours each, so every figure
+was built from a small library of reusable simulations.  This module
+gives the reproduction the same property across *processes and
+sessions*: a :class:`ResultStore` keeps one JSON file per simulation,
+keyed by a stable content hash of the complete experimental setup
+(benchmark, trace length, and every field of :class:`SystemConfig`
+including the seed).  Re-running any figure or benchmark then costs one
+cache lookup per configuration instead of one simulation.
+
+Design points:
+
+* **Content addressing.**  The key is a SHA-256 over the canonical
+  JSON of the setup, so any config change -- down to a single ring
+  parameter -- yields a different key.  There is no invalidation
+  problem beyond bumping :data:`SCHEMA_VERSION` when the serialised
+  format changes.
+* **Exact round-trips.**  All simulation state worth keeping is
+  integers, strings and enum values; latencies are integer picoseconds.
+  ``result == from_jsonable(to_jsonable(result))`` holds bit-for-bit,
+  which the determinism tests assert.
+* **Process safety.**  Writes go to a temp file in the store directory
+  followed by an atomic ``os.replace``; concurrent writers of the same
+  key are idempotent because they serialise identical content.
+* **Namespacing.**  :meth:`ResultStore.invalidate` bumps a
+  process-local generation salt mixed into every key, so tests can
+  isolate state without deleting another session's files;
+  :func:`temp_result_store` goes further and points the store at a
+  throwaway directory.
+
+The store directory resolves, in order: explicit argument, the
+``REPRO_CACHE_DIR`` environment variable, then ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import asdict
+from typing import Any, Dict, Iterator, Optional
+
+from repro.core.config import (
+    BusConfig,
+    CacheConfig,
+    MemoryConfig,
+    ProcessorConfig,
+    Protocol,
+    RingConfig,
+    SystemConfig,
+)
+from repro.core.metrics import (
+    CoherenceStats,
+    LatencyAccumulator,
+    MissClass,
+    TraversalHistogram,
+)
+from repro.core.results import ModelInputs, SimulationResult
+from repro.traces.stats import TraceCharacteristics
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultStore",
+    "config_to_jsonable",
+    "config_from_jsonable",
+    "result_to_jsonable",
+    "result_from_jsonable",
+    "result_fingerprint",
+    "default_store_dir",
+    "get_result_store",
+    "configure_result_store",
+    "temp_result_store",
+]
+
+#: Bump when the serialised layout changes; old entries simply miss.
+SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default store directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_store_dir() -> pathlib.Path:
+    """The store directory used when none is configured explicitly."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return pathlib.Path(override).expanduser()
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+# ----------------------------------------------------------------------
+# Config serialisation
+# ----------------------------------------------------------------------
+def config_to_jsonable(config: SystemConfig) -> Dict[str, Any]:
+    """A plain-JSON dict capturing every field of a system config."""
+    payload = asdict(config)
+    payload["protocol"] = config.protocol.value
+    return payload
+
+
+def config_from_jsonable(payload: Dict[str, Any]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from :func:`config_to_jsonable`."""
+    return SystemConfig(
+        num_processors=payload["num_processors"],
+        protocol=Protocol(payload["protocol"]),
+        ring=RingConfig(**payload["ring"]),
+        bus=BusConfig(**payload["bus"]),
+        cache=CacheConfig(**payload["cache"]),
+        memory=MemoryConfig(**payload["memory"]),
+        processor=ProcessorConfig(**payload["processor"]),
+        seed=payload["seed"],
+    )
+
+
+def result_fingerprint(
+    benchmark: str,
+    data_refs: int,
+    config: SystemConfig,
+    salt: str = "",
+) -> str:
+    """Stable content hash identifying one simulation setup.
+
+    The hash covers the benchmark name, the per-processor trace length
+    and the *entire* config (protocol, sizes, clocks, seed ...), so two
+    setups share a key exactly when :func:`repro.core.experiment.
+    run_simulation` would produce identical results for them.
+    """
+    setup = {
+        "schema": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "data_refs": data_refs,
+        "config": config_to_jsonable(config),
+    }
+    if salt:
+        setup["salt"] = salt
+    canonical = json.dumps(setup, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Result serialisation
+# ----------------------------------------------------------------------
+def _latency_to_jsonable(acc: LatencyAccumulator) -> Dict[str, Any]:
+    return asdict(acc)
+
+
+def _latency_from_jsonable(payload: Dict[str, Any]) -> LatencyAccumulator:
+    return LatencyAccumulator(**payload)
+
+
+def _stats_to_jsonable(stats: CoherenceStats) -> Dict[str, Any]:
+    return {
+        "miss_latency": {
+            klass.value: _latency_to_jsonable(acc)
+            for klass, acc in stats.miss_latency.items()
+        },
+        "upgrade_latency": _latency_to_jsonable(stats.upgrade_latency),
+        "upgrades_with_sharers": stats.upgrades_with_sharers,
+        "upgrades_without_sharers": stats.upgrades_without_sharers,
+        "miss_traversals": {
+            str(traversals): count
+            for traversals, count in stats.miss_traversals.as_counts().items()
+        },
+        "upgrade_traversals": {
+            str(traversals): count
+            for traversals, count in stats.upgrade_traversals.as_counts().items()
+        },
+        "probes_sent": stats.probes_sent,
+        "broadcast_probes": stats.broadcast_probes,
+        "blocks_sent": stats.blocks_sent,
+        "forwards": stats.forwards,
+        "writebacks": stats.writebacks,
+        "sharing_writebacks": stats.sharing_writebacks,
+    }
+
+
+def _stats_from_jsonable(payload: Dict[str, Any]) -> CoherenceStats:
+    stats = CoherenceStats()
+    stats.miss_latency = {
+        MissClass(name): _latency_from_jsonable(acc)
+        for name, acc in payload["miss_latency"].items()
+    }
+    # Guarantee every class is present even if absent in the payload.
+    for klass in MissClass:
+        stats.miss_latency.setdefault(klass, LatencyAccumulator())
+    stats.upgrade_latency = _latency_from_jsonable(payload["upgrade_latency"])
+    stats.upgrades_with_sharers = payload["upgrades_with_sharers"]
+    stats.upgrades_without_sharers = payload["upgrades_without_sharers"]
+    stats.miss_traversals = TraversalHistogram.from_counts(
+        {int(k): v for k, v in payload["miss_traversals"].items()}
+    )
+    stats.upgrade_traversals = TraversalHistogram.from_counts(
+        {int(k): v for k, v in payload["upgrade_traversals"].items()}
+    )
+    stats.probes_sent = payload["probes_sent"]
+    stats.broadcast_probes = payload["broadcast_probes"]
+    stats.blocks_sent = payload["blocks_sent"]
+    stats.forwards = payload["forwards"]
+    stats.writebacks = payload["writebacks"]
+    stats.sharing_writebacks = payload["sharing_writebacks"]
+    return stats
+
+
+def _inputs_to_jsonable(inputs: ModelInputs) -> Dict[str, Any]:
+    payload = asdict(inputs)
+    payload["protocol"] = inputs.protocol.value
+    payload["f_miss"] = {
+        klass.value: frequency for klass, frequency in inputs.f_miss.items()
+    }
+    return payload
+
+
+def _inputs_from_jsonable(payload: Dict[str, Any]) -> ModelInputs:
+    payload = dict(payload)
+    payload["protocol"] = Protocol(payload["protocol"])
+    payload["f_miss"] = {
+        MissClass(name): frequency
+        for name, frequency in payload["f_miss"].items()
+    }
+    return ModelInputs(**payload)
+
+
+def result_to_jsonable(result: SimulationResult) -> Dict[str, Any]:
+    """Serialise a full :class:`SimulationResult` to plain JSON types."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": config_to_jsonable(result.config),
+        "benchmark": result.benchmark,
+        "elapsed_ps": result.elapsed_ps,
+        "processor_utilization": result.processor_utilization,
+        "network_utilization": result.network_utilization,
+        "shared_miss_latency_ns": result.shared_miss_latency_ns,
+        "miss_latency_ns": result.miss_latency_ns,
+        "upgrade_latency_ns": result.upgrade_latency_ns,
+        "stats": _stats_to_jsonable(result.stats),
+        "trace": asdict(result.trace),
+        "instructions": result.instructions,
+        "inputs": _inputs_to_jsonable(result.inputs),
+    }
+
+
+def result_from_jsonable(payload: Dict[str, Any]) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_jsonable`."""
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"result schema {payload.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    return SimulationResult(
+        config=config_from_jsonable(payload["config"]),
+        benchmark=payload["benchmark"],
+        elapsed_ps=payload["elapsed_ps"],
+        processor_utilization=payload["processor_utilization"],
+        network_utilization=payload["network_utilization"],
+        shared_miss_latency_ns=payload["shared_miss_latency_ns"],
+        miss_latency_ns=payload["miss_latency_ns"],
+        upgrade_latency_ns=payload["upgrade_latency_ns"],
+        stats=_stats_from_jsonable(payload["stats"]),
+        trace=TraceCharacteristics(**payload["trace"]),
+        instructions=payload["instructions"],
+        inputs=_inputs_from_jsonable(payload["inputs"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class ResultStore:
+    """One directory of content-addressed simulation results.
+
+    Files live under ``<directory>/results/<sha256>.json``.  Lookups
+    and stores count into :attr:`hits` / :attr:`misses` / :attr:`stores`
+    so callers can report cache effectiveness.
+    """
+
+    def __init__(
+        self,
+        directory: "Optional[pathlib.Path | str]" = None,
+        enabled: bool = True,
+    ) -> None:
+        self.directory = pathlib.Path(directory) if directory else default_store_dir()
+        self.enabled = enabled
+        #: Process-local namespace salt; bumped by :meth:`invalidate`.
+        self._generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def results_dir(self) -> pathlib.Path:
+        return self.directory / "results"
+
+    def _salt(self) -> str:
+        return f"gen{self._generation}" if self._generation else ""
+
+    def key_for(
+        self, benchmark: str, data_refs: int, config: SystemConfig
+    ) -> str:
+        return result_fingerprint(
+            benchmark, data_refs, config, salt=self._salt()
+        )
+
+    def _path_for(self, key: str) -> pathlib.Path:
+        return self.results_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(
+        self, benchmark: str, data_refs: int, config: SystemConfig
+    ) -> Optional[SimulationResult]:
+        """The stored result for this setup, or ``None`` on a miss.
+
+        Corrupt or schema-mismatched entries count as misses (and are
+        left in place for a newer/older version of the code to use).
+        """
+        if not self.enabled:
+            return None
+        path = self._path_for(self.key_for(benchmark, data_refs, config))
+        try:
+            payload = json.loads(path.read_text())
+            result = result_from_jsonable(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(
+        self,
+        benchmark: str,
+        data_refs: int,
+        config: SystemConfig,
+        result: SimulationResult,
+    ) -> None:
+        """Persist one result (atomic rename; no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        path = self._path_for(self.key_for(benchmark, data_refs, config))
+        payload = json.dumps(result_to_jsonable(result), sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.results_dir, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Detach this process from every stored entry.
+
+        Bumps the generation salt mixed into all subsequent keys, so
+        existing files can no longer be hit (or overwritten) from this
+        process.  Files on disk are untouched -- other sessions keep
+        their cache; use :meth:`purge` to delete them.
+        """
+        self._generation += 1
+
+    def purge(self) -> int:
+        """Delete every stored result file; returns the count removed."""
+        removed = 0
+        if self.results_dir.is_dir():
+            for path in self.results_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def entry_count(self) -> int:
+        """Number of result files currently on disk."""
+        if not self.results_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.results_dir.glob("*.json"))
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"<ResultStore {str(self.directory)!r} {state}>"
+
+
+# ----------------------------------------------------------------------
+# Active-store management
+# ----------------------------------------------------------------------
+_ACTIVE_STORE: Optional[ResultStore] = None
+
+
+def get_result_store() -> ResultStore:
+    """The process-wide store (created lazily at the default location)."""
+    global _ACTIVE_STORE
+    if _ACTIVE_STORE is None:
+        _ACTIVE_STORE = ResultStore()
+    return _ACTIVE_STORE
+
+
+def configure_result_store(
+    directory: "Optional[pathlib.Path | str]" = None,
+    enabled: bool = True,
+) -> ResultStore:
+    """Install (and return) a fresh process-wide store.
+
+    ``directory=None`` keeps the default resolution (env var, then
+    ``~/.cache/repro``); ``enabled=False`` turns the persistent layer
+    off entirely (the in-process memo in ``repro.core.experiment``
+    still applies).
+    """
+    global _ACTIVE_STORE
+    _ACTIVE_STORE = ResultStore(directory, enabled=enabled)
+    return _ACTIVE_STORE
+
+
+class temp_result_store:
+    """Context manager: a throwaway store for isolated runs/tests.
+
+    >>> with temp_result_store() as store:      # doctest: +SKIP
+    ...     run_simulation_cached("mp3d", 8, Protocol.SNOOPING)
+
+    On exit the previous store is reinstated and the temp directory is
+    removed.  Also usable as a pytest fixture body.
+    """
+
+    def __init__(self) -> None:
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        self._previous: Optional[ResultStore] = None
+
+    def __enter__(self) -> ResultStore:
+        global _ACTIVE_STORE
+        self._tempdir = tempfile.TemporaryDirectory(prefix="repro-cache-")
+        self._previous = _ACTIVE_STORE
+        _ACTIVE_STORE = ResultStore(self._tempdir.name, enabled=True)
+        return _ACTIVE_STORE
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _ACTIVE_STORE
+        _ACTIVE_STORE = self._previous
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+
+def iter_store_paths(store: ResultStore) -> Iterator[pathlib.Path]:
+    """Paths of every entry in the store (debugging/inspection)."""
+    if store.results_dir.is_dir():
+        yield from sorted(store.results_dir.glob("*.json"))

@@ -6,7 +6,26 @@ import pytest
 
 from repro.core.config import Protocol, SystemConfig
 from repro.core.experiment import build_engine
+from repro.core.store import temp_result_store
 from repro.sim.kernel import Simulator
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_store():
+    """Keep the whole test session away from the user's ~/.cache/repro."""
+    with temp_result_store():
+        yield
+
+
+@pytest.fixture
+def temp_store():
+    """A fresh throwaway persistent store (and memo) for one test."""
+    from repro.core.experiment import clear_simulation_cache
+
+    with temp_result_store() as store:
+        clear_simulation_cache(disk=False)
+        yield store
+    clear_simulation_cache(disk=False)
 
 
 @pytest.fixture

@@ -1,0 +1,277 @@
+"""Determinism guarantees: serial == parallel == cached, always.
+
+The parallel sweep executor and the persistent result store are only
+sound because every simulation is a pure function of (benchmark,
+data_refs, config-including-seed).  This suite pins that down:
+
+* the kernel's event ordering is stable under equal-timestamp ties
+  (FIFO by scheduling order -- the heap carries a sequence number),
+* the same setup produces bit-identical ``SimulationResult`` values
+  across the serial path, a multi-process ``execute_points`` run, and
+  a cache hit (memo or disk),
+* serialisation round-trips exactly, and
+* ``clear_simulation_cache`` isolates the on-disk namespace.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import Protocol, SystemConfig
+from repro.core.experiment import (
+    cache_counters,
+    clear_simulation_cache,
+    run_simulation,
+    run_simulation_cached,
+)
+from repro.core.parallel import SweepPoint, derive_seed, execute_points
+from repro.core.replication import replicate
+from repro.core.sensitivity import sensitivity_sweep
+from repro.core.store import (
+    get_result_store,
+    result_from_jsonable,
+    result_to_jsonable,
+    temp_result_store,
+)
+from repro.sim.kernel import Simulator
+
+REFS = 800
+
+
+# ----------------------------------------------------------------------
+# Kernel: equal-timestamp tie-breaking is stable
+# ----------------------------------------------------------------------
+def test_kernel_equal_time_events_run_in_spawn_order():
+    sim = Simulator()
+    log = []
+
+    def worker(tag):
+        yield sim.timeout(1000)
+        log.append(tag)
+        yield sim.timeout(0)
+        log.append(tag.upper())
+
+    for tag in ("a", "b", "c"):
+        sim.spawn(worker(tag), name=tag)
+    sim.run()
+    # All six wakeups happen at t=1000; order must follow scheduling
+    # order, not heap happenstance.
+    assert log == ["a", "b", "c", "A", "B", "C"]
+
+
+def test_kernel_event_waiters_wake_in_wait_order():
+    sim = Simulator()
+    gate = sim.event("gate")
+    log = []
+
+    def waiter(tag):
+        yield gate
+        log.append(tag)
+
+    def firer():
+        yield sim.timeout(500)
+        gate.succeed("go")
+
+    for tag in ("x", "y", "z"):
+        sim.spawn(waiter(tag), name=tag)
+    sim.spawn(firer(), name="firer")
+    sim.run()
+    assert log == ["x", "y", "z"]
+
+
+def test_kernel_zero_delay_preserves_relative_order():
+    sim = Simulator()
+    log = []
+
+    def chain(tag, repeats):
+        for index in range(repeats):
+            yield sim.timeout(0)
+            log.append((tag, index))
+
+    sim.spawn(chain("first", 3))
+    sim.spawn(chain("second", 3))
+    sim.run()
+    assert log == [
+        ("first", 0),
+        ("second", 0),
+        ("first", 1),
+        ("second", 1),
+        ("first", 2),
+        ("second", 2),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Seed derivation
+# ----------------------------------------------------------------------
+def test_derive_seed_is_deterministic_and_separated():
+    seeds = [derive_seed(1993, index) for index in range(64)]
+    assert seeds == [derive_seed(1993, index) for index in range(64)]
+    assert len(set(seeds)) == 64
+    assert all(0 <= seed < 2**63 for seed in seeds)
+    assert derive_seed(1993, 0) != derive_seed(1994, 0)
+
+
+# ----------------------------------------------------------------------
+# Serialisation round-trip
+# ----------------------------------------------------------------------
+def test_result_serialisation_roundtrips_exactly():
+    result = run_simulation("mp3d", num_processors=4, data_refs=REFS)
+    payload = result_to_jsonable(result)
+    # The payload is genuinely JSON (no enum/dataclass leakage)...
+    rebuilt = result_from_jsonable(json.loads(json.dumps(payload)))
+    # ...and the round-trip is exact, field for field.
+    assert rebuilt == result
+    assert result_to_jsonable(rebuilt) == payload
+
+
+# ----------------------------------------------------------------------
+# Serial == parallel == cached
+# ----------------------------------------------------------------------
+POINTS = [
+    SweepPoint("mp3d", 4, Protocol.SNOOPING, REFS),
+    SweepPoint("mp3d", 4, Protocol.DIRECTORY, REFS),
+    SweepPoint("water", 4, Protocol.LINKED_LIST, REFS),
+    SweepPoint("mp3d", 4, Protocol.SNOOPING, REFS, seed=7),
+]
+
+
+def _canonical(results):
+    return [result_to_jsonable(result) for result in results]
+
+
+def test_parallel_results_match_serial_and_cache_hits(temp_store):
+    serial = [
+        run_simulation(
+            point.benchmark,
+            config=point.resolved_config(),
+            data_refs=point.data_refs,
+            num_processors=point.num_processors,
+        )
+        for point in POINTS
+    ]
+    parallel = execute_points(POINTS, jobs=2)
+    assert parallel.points_done == len(POINTS)
+    assert _canonical(parallel.results) == _canonical(serial)
+
+    # Workers persisted every run; a fresh lookup path (memo cleared)
+    # must hit the disk store and still be bit-identical.
+    clear_simulation_cache(disk=False)
+    before = cache_counters()
+    rerun = execute_points(POINTS, jobs=1)
+    after = cache_counters()
+    assert rerun.cache_hits == len(POINTS)
+    assert after["disk_hits"] - before["disk_hits"] == len(POINTS)
+    assert _canonical(rerun.results) == _canonical(serial)
+
+    # And the memo path, too.
+    memo_run = execute_points(POINTS, jobs=1)
+    assert memo_run.cache_hits == len(POINTS)
+    assert _canonical(memo_run.results) == _canonical(serial)
+
+
+def test_seeded_point_differs_from_base_seed(temp_store):
+    base, reseeded = execute_points(
+        [
+            SweepPoint("mp3d", 4, Protocol.SNOOPING, REFS),
+            SweepPoint("mp3d", 4, Protocol.SNOOPING, REFS, seed=7),
+        ],
+        jobs=1,
+    ).results
+    assert base.config.seed != reseeded.config.seed
+    assert result_to_jsonable(base) != result_to_jsonable(reseeded)
+
+
+def test_replicate_parallel_matches_serial(temp_store):
+    serial = replicate(
+        "water", 4, Protocol.SNOOPING, seeds=(1, 2, 3), data_refs=REFS
+    )
+    parallel = replicate(
+        "water",
+        4,
+        Protocol.SNOOPING,
+        seeds=(1, 2, 3),
+        data_refs=REFS,
+        jobs=2,
+    )
+    assert _canonical(parallel.results) == _canonical(serial.results)
+    for name in serial.metrics:
+        assert parallel.summary(name).values == serial.summary(name).values
+
+
+def test_sensitivity_parallel_matches_serial(temp_store):
+    kwargs = dict(
+        benchmark="mp3d",
+        num_processors=4,
+        parameter="cache_size_bytes",
+        values=(16 * 1024, 64 * 1024),
+        data_refs=REFS,
+    )
+    assert sensitivity_sweep(**kwargs, jobs=2) == sensitivity_sweep(**kwargs)
+
+
+def test_figure_panels_parallel_match_serial(temp_store):
+    from repro.core.sweep import snooping_vs_directory
+
+    serial = snooping_vs_directory("mp3d", 4, data_refs=REFS)
+    clear_simulation_cache()
+    parallel = snooping_vs_directory("mp3d", 4, data_refs=REFS, jobs=2)
+    assert [sweep.points for sweep in parallel] == [
+        sweep.points for sweep in serial
+    ]
+
+
+# ----------------------------------------------------------------------
+# Cache isolation
+# ----------------------------------------------------------------------
+def test_clear_simulation_cache_invalidates_disk_namespace(temp_store):
+    point = POINTS[0]
+    config = point.resolved_config()
+    run_simulation_cached(
+        point.benchmark,
+        point.num_processors,
+        point.protocol,
+        data_refs=point.data_refs,
+        config=config,
+    )
+    store = get_result_store()
+    assert store is temp_store
+    assert store.get(point.benchmark, point.data_refs, config) is not None
+    clear_simulation_cache()
+    # Same setup, post-clear: the namespaced key no longer resolves.
+    assert store.get(point.benchmark, point.data_refs, config) is None
+    # The file itself is still on disk (other sessions keep their
+    # cache); purge is the destructive path.
+    assert store.entry_count() == 1
+    assert store.purge() == 1
+    assert store.entry_count() == 0
+
+
+def test_temp_result_store_restores_previous_store():
+    outer = get_result_store()
+    with temp_result_store() as inner:
+        assert get_result_store() is inner
+        assert inner is not outer
+        directory = inner.directory
+        run_simulation_cached(
+            "mp3d", 4, Protocol.SNOOPING, data_refs=200
+        )
+        assert inner.entry_count() == 1
+    assert get_result_store() is outer
+    assert not directory.exists()
+
+
+def test_disabled_store_never_writes(tmp_path):
+    from repro.core.store import configure_result_store
+
+    store = configure_result_store(tmp_path / "cache", enabled=False)
+    try:
+        clear_simulation_cache(disk=False)
+        run_simulation_cached("mp3d", 4, Protocol.SNOOPING, data_refs=200)
+        assert store.entry_count() == 0
+        assert not (tmp_path / "cache").exists()
+    finally:
+        clear_simulation_cache()
+        configure_result_store(None, enabled=True)
