@@ -73,11 +73,23 @@ class BusSystem:
     def clock_ps(self) -> int:
         return self.config.bus.clock_ps
 
-    def _hold_bus(self, cycles: int) -> Step:
+    #: Telemetry component name for this engine's events.
+    trace_category = "bus"
+
+    def _hold_bus(self, cycles: int, label: str = "hold") -> Step:
         """Arbitrate, hold the bus for ``cycles``, release."""
-        yield self.bus.acquire()
+        granted_ps = yield self.bus.acquire()
         yield self.sim.timeout(cycles * self.clock_ps)
         self.bus.release()
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.complete(
+                granted_ps,
+                cycles * self.clock_ps,
+                self.trace_category,
+                f"bus.{label}",
+                "bus",
+            )
 
     # ------------------------------------------------------------------
     # Per-block serialisation (same rationale as the ring engines)
@@ -104,6 +116,11 @@ class BusSystem:
     # ------------------------------------------------------------------
     def miss(self, node: int, address: int, outcome: AccessOutcome) -> Step:
         start_ps = self.sim.now
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.miss_start(
+                start_ps, self.trace_category, node, address, outcome.name
+            )
         block = self.address_map.block_of(address)
         lock = self.block_lock(block)
         # Same locking discipline as the ring engines: read misses run
@@ -148,6 +165,15 @@ class BusSystem:
                 )
         finally:
             lock.release()
+        if tracer is not None:
+            tracer.miss_commit(
+                start_ps,
+                self.sim.now,
+                self.trace_category,
+                node,
+                address,
+                outcome.name,
+            )
         return self.sim.now - start_ps
 
     # ------------------------------------------------------------------
@@ -199,7 +225,7 @@ class BusSystem:
             return
 
         # Request phase: address + command on the bus, snooped by all.
-        yield from self._hold_bus(self.config.bus.request_cycles)
+        yield from self._hold_bus(self.config.bus.request_cycles, "request")
         self.stats.probes_sent += 1
         if is_write:
             for sharer in self._sharers_other_than(address, node):
@@ -216,7 +242,7 @@ class BusSystem:
         if owner != node or dirty:
             # Reply phase: the block crosses the bus (even a dirty
             # block headed to the home's own requester does).
-            yield from self._hold_bus(self.config.bus.reply_cycles)
+            yield from self._hold_bus(self.config.bus.reply_cycles, "reply")
             self.stats.blocks_sent += 1
 
         if is_write:
@@ -236,7 +262,7 @@ class BusSystem:
     def _upgrade(self, node: int, address: int, start_ps: int) -> Step:
         block = self.address_map.block_of(address)
         sharers = self._sharers_other_than(address, node)
-        yield from self._hold_bus(self.config.bus.request_cycles)
+        yield from self._hold_bus(self.config.bus.request_cycles, "request")
         self.stats.probes_sent += 1
         for sharer in sharers:
             self.caches[sharer].snoop_invalidate(address)
@@ -311,7 +337,7 @@ class BusSystem:
             if self.caches[node].contains(address):
                 return
             if home != node:
-                yield from self._hold_bus(self.config.bus.writeback_cycles)
+                yield from self._hold_bus(self.config.bus.writeback_cycles, "writeback")
                 self.stats.blocks_sent += 1
             yield self.banks[home].access()
             self.dirty_bits.clear_dirty(block)
@@ -325,7 +351,7 @@ class BusSystem:
         address = block * self.config.block_size
         home = self.address_map.home_of(address)
         if home != owner:
-            yield from self._hold_bus(self.config.bus.writeback_cycles)
+            yield from self._hold_bus(self.config.bus.writeback_cycles, "writeback")
             self.stats.blocks_sent += 1
         yield self.banks[home].access()
         self.stats.sharing_writebacks += 1

@@ -115,6 +115,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="local rings for --protocol hierarchical (default 4)",
     )
+    simulate.add_argument(
+        "--emit-trace",
+        default=None,
+        metavar="PATH",
+        help="record a structured event trace and write it to PATH",
+    )
+    simulate.add_argument(
+        "--trace-format",
+        choices=("chrome", "jsonl"),
+        default=None,
+        help="trace file format: 'chrome' (trace_event JSON, loadable "
+        "in Perfetto / chrome://tracing) or 'jsonl' (one event per "
+        "line); default: jsonl when PATH ends in .jsonl, else chrome",
+    )
+    simulate.add_argument(
+        "--histograms",
+        action="store_true",
+        help="print slot-occupancy / latency / queue-depth histograms",
+    )
 
     sweep = commands.add_parser(
         "sweep", help="hybrid-methodology curves for one configuration"
@@ -232,12 +251,32 @@ def _system_config(args: argparse.Namespace) -> SystemConfig:
 
 def _command_simulate(args: argparse.Namespace) -> int:
     config = _system_config(args)
+    tracer = None
+    if args.emit_trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     result = run_simulation(
         args.benchmark,
         config=config,
         data_refs=args.refs,
         num_processors=args.processors,
+        tracer=tracer,
     )
+    if tracer is not None:
+        trace_format = args.trace_format or (
+            "jsonl" if args.emit_trace.endswith(".jsonl") else "chrome"
+        )
+        if trace_format == "jsonl":
+            tracer.write_jsonl(args.emit_trace)
+        else:
+            tracer.write_chrome(args.emit_trace)
+        dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+        print(
+            f"trace: {tracer.emitted} events{dropped} -> "
+            f"{args.emit_trace} [{trace_format}]",
+            file=sys.stderr,
+        )
     print(f"benchmark             : {result.benchmark} @ {args.processors}p")
     print(f"protocol              : {result.protocol.value}")
     print(f"processor speed       : {result.mips:.0f} MIPS")
@@ -257,6 +296,9 @@ def _command_simulate(args: argparse.Namespace) -> int:
     if populated:
         print()
         print(render_table([populated], title="Remote-miss classes (%)"))
+    if args.histograms and result.telemetry is not None:
+        print()
+        print(result.telemetry.render())
     return 0
 
 

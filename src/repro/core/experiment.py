@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.bus.bus import BusSystem
 from repro.core.config import Protocol, SystemConfig
 from repro.core.results import ModelInputs, SimulationResult
+from repro.obs import Histograms
 from repro.proc.processor import TraceProcessor
 from repro.ring.directory import DirectoryRingSystem
 from repro.ring.hierarchical import HierarchicalRingSystem
@@ -69,6 +70,7 @@ def run_simulation(
     protocol: Optional[Protocol] = None,
     traces: Optional[List] = None,
     warmup_refs: int = 0,
+    tracer=None,
 ) -> SimulationResult:
     """Run one trace-driven simulation to completion.
 
@@ -88,6 +90,13 @@ def run_simulation(
     while the measurement window starts cold-miss-free (the paper's
     multi-million-reference traces amortise cold misses; short runs
     can use this instead).
+
+    ``tracer`` is an optional :class:`repro.obs.Tracer` (or any object
+    with its event-emission interface); when given it receives
+    structured events from the kernel, the slot scheduler and the
+    protocol engines for the whole run, warm-up included.  Leaving it
+    ``None`` (the default) keeps every hook on its no-op path, so
+    traced and untraced runs produce bit-identical results.
     """
     if isinstance(benchmark, str):
         processors = num_processors or (config.num_processors if config else 16)
@@ -107,6 +116,7 @@ def run_simulation(
         )
 
     sim = Simulator()
+    sim.tracer = tracer
     engine = build_engine(sim, config)
     if traces is None:
         generator = SyntheticTraceGenerator(
@@ -133,6 +143,13 @@ def run_simulation(
         sim.run()
         reset_engine_statistics(engine)
         window_start = sim.now
+    # Distribution telemetry covers exactly the measurement window
+    # (attached after the warm-up statistics reset), mirroring the
+    # scalar statistics, so cached and fresh runs report the same
+    # histograms.
+    histograms = Histograms()
+    sim.histograms = histograms
+    engine.stats.observer = histograms
     processors = [
         TraceProcessor(
             sim,
@@ -147,7 +164,9 @@ def run_simulation(
         sim.spawn(processor.run(), name=f"cpu{processor.node}")
     sim.run()
 
-    return _collect(spec, config, engine, processors, sim, window_start)
+    return _collect(
+        spec, config, engine, processors, sim, window_start, histograms
+    )
 
 
 def reset_engine_statistics(engine) -> None:
@@ -183,6 +202,7 @@ def _collect(
     processors: List[TraceProcessor],
     sim: Simulator,
     window_start: int = 0,
+    telemetry: Optional[Histograms] = None,
 ) -> SimulationResult:
     elapsed = (
         max(p.counters.finished_at_ps for p in processors) - window_start
@@ -211,6 +231,7 @@ def _collect(
         trace=trace,
         instructions=instructions,
         inputs=_extract_inputs(spec, config, engine, instructions),
+        telemetry=telemetry.finalize() if telemetry is not None else None,
     )
 
 

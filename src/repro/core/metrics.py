@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Any, Dict, Iterable, Mapping, Optional
 
 __all__ = [
     "MissClass",
@@ -203,6 +203,11 @@ class CoherenceStats:
     forwards: int = 0
     writebacks: int = 0
     sharing_writebacks: int = 0
+    #: Optional telemetry sink (``repro.obs.Histograms``-shaped, duck
+    #: typed so this module never imports the observability package).
+    #: Excluded from equality/repr: it is an observation channel, not
+    #: part of the recorded statistics.
+    observer: Optional[Any] = field(default=None, compare=False, repr=False)
 
     # ------------------------------------------------------------------
     # Recording
@@ -216,6 +221,8 @@ class CoherenceStats:
         self.miss_latency[klass].record(latency_ps)
         if traversals is not None and klass.is_remote:
             self.miss_traversals.record(traversals)
+        if self.observer is not None:
+            self.observer.record_miss(klass.value, latency_ps)
 
     def record_upgrade(
         self,
@@ -230,6 +237,8 @@ class CoherenceStats:
             self.upgrades_without_sharers += 1
         if traversals is not None:
             self.upgrade_traversals.record(traversals)
+        if self.observer is not None:
+            self.observer.record_upgrade(latency_ps)
 
     # ------------------------------------------------------------------
     # Aggregation

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.config import Protocol, SystemConfig
 from repro.core.metrics import CoherenceStats, MissClass
 from repro.traces.stats import TraceCharacteristics
+
+if TYPE_CHECKING:
+    from repro.obs import Histograms
 
 __all__ = ["ModelInputs", "SimulationResult", "OperatingPoint", "SweepResult"]
 
@@ -94,6 +97,11 @@ class SimulationResult:
     instructions: int
     #: Extracted analytical-model inputs.
     inputs: ModelInputs
+    #: Distribution telemetry collected over the measurement window
+    #: (slot occupancy/wait, miss/upgrade latency, queue depth).
+    #: ``None`` only for results deserialised from a pre-telemetry
+    #: store entry.
+    telemetry: Optional["Histograms"] = None
 
     @property
     def protocol(self) -> Protocol:

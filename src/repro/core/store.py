@@ -59,6 +59,7 @@ from repro.core.metrics import (
     TraversalHistogram,
 )
 from repro.core.results import ModelInputs, SimulationResult
+from repro.obs import Histograms
 from repro.traces.stats import TraceCharacteristics
 
 __all__ = [
@@ -76,7 +77,8 @@ __all__ = [
 ]
 
 #: Bump when the serialised layout changes; old entries simply miss.
-SCHEMA_VERSION = 1
+#: v2: results carry distribution telemetry (``repro.obs.Histograms``).
+SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default store directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -238,6 +240,11 @@ def result_to_jsonable(result: SimulationResult) -> Dict[str, Any]:
         "trace": asdict(result.trace),
         "instructions": result.instructions,
         "inputs": _inputs_to_jsonable(result.inputs),
+        "telemetry": (
+            result.telemetry.to_jsonable()
+            if result.telemetry is not None
+            else None
+        ),
     }
 
 
@@ -260,6 +267,11 @@ def result_from_jsonable(payload: Dict[str, Any]) -> SimulationResult:
         trace=TraceCharacteristics(**payload["trace"]),
         instructions=payload["instructions"],
         inputs=_inputs_from_jsonable(payload["inputs"]),
+        telemetry=(
+            Histograms.from_jsonable(payload["telemetry"])
+            if payload.get("telemetry") is not None
+            else None
+        ),
     )
 
 

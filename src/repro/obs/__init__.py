@@ -1,0 +1,32 @@
+"""Opt-in simulation telemetry: event tracing and metric histograms.
+
+This package is the observability layer over the simulation engines.
+It deliberately has **no imports from the rest of ``repro``** and the
+hot-path modules (kernel, schedulers, protocol engines, processors)
+never import it at module level: they only duck-type against the
+``tracer`` / ``histograms`` attributes of :class:`repro.sim.kernel.
+Simulator`, which default to ``None``.  With both attributes left at
+``None`` every hook site is a single attribute load plus an identity
+check, so tracing is zero-cost when disabled and cannot perturb the
+simulation (no events are ever scheduled by telemetry code).
+
+Two collectors:
+
+* :class:`Tracer` -- a bounded ring buffer of structured events
+  (process spawn/finish, slot grants, messages, misses), exportable as
+  JSONL or Chrome ``trace_event`` JSON for ``chrome://tracing`` /
+  Perfetto.
+* :class:`Histograms` -- aggregated distributions (slot occupancy and
+  wait, miss/upgrade latency, per-node memory queue depth) beyond the
+  headline metrics; cheap enough to collect on every run, and carried
+  through :class:`repro.core.results.SimulationResult` so cached and
+  parallel executions report identical telemetry.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and a Perfetto
+walkthrough.
+"""
+
+from repro.obs.histograms import Histogram, Histograms
+from repro.obs.tracer import TraceEvent, Tracer
+
+__all__ = ["Histogram", "Histograms", "TraceEvent", "Tracer"]

@@ -1,0 +1,383 @@
+"""Aggregated telemetry distributions for simulation runs.
+
+The paper reports three headline metrics; reasoning about *why* they
+move needs distributions -- how long probes wait for a slot, how the
+miss-latency tail stretches under contention, how deep the memory-bank
+queues run at hot home nodes.  :class:`Histograms` collects exactly
+those, in integer-exact counters so results serialise and round-trip
+bit-for-bit through the persistent result store.
+
+Two bucketing schemes cover the value ranges involved:
+
+* ``exact`` -- one counter per observed value; used for small discrete
+  quantities (slot occupancy in cycles, queue depth in requests).
+* ``log2``  -- one counter per power-of-two bucket (the bucket key is
+  the largest power of two <= value, with ``0`` its own bucket); used
+  for wide dynamic ranges (latencies in picoseconds, wait cycles).
+
+Both keep exact ``count`` / ``total`` / ``min`` / ``max`` alongside the
+buckets, so means are exact even where the buckets are coarse.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Histogram", "Histograms"]
+
+_KINDS = ("exact", "log2")
+
+
+class Histogram:
+    """Integer-valued distribution with exact summary statistics."""
+
+    __slots__ = ("kind", "_counts", "count", "total", "min", "max")
+
+    def __init__(self, kind: str = "exact") -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown histogram kind {kind!r}")
+        self.kind = kind
+        self._counts: Counter = Counter()
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def bucket_of(self, value: int) -> int:
+        """The bucket key (its inclusive lower bound) for ``value``."""
+        if self.kind == "exact" or value <= 0:
+            return value
+        return 1 << (value.bit_length() - 1)
+
+    def record(self, value: int) -> None:
+        self.record_many(value, 1)
+
+    def record_many(self, value: int, n: int) -> None:
+        """Record ``value`` observed ``n`` times (bulk ingestion)."""
+        if value < 0:
+            raise ValueError(f"histogram values must be non-negative: {value}")
+        if n <= 0:
+            return
+        self._counts[self.bucket_of(value)] += n
+        self.count += n
+        self.total += value * n
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> None:
+        if other.kind != self.kind:
+            raise ValueError(f"cannot merge {other.kind} into {self.kind}")
+        self._counts.update(other._counts)
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> int:
+        """Lower bound of the bucket containing the given quantile.
+
+        Exact for ``exact`` histograms; for ``log2`` the true value lies
+        in ``[result, 2 * result)``.  Returns 0 on an empty histogram.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        if not self.count:
+            return 0
+        threshold = fraction * self.count
+        cumulative = 0
+        for bucket in sorted(self._counts):
+            cumulative += self._counts[bucket]
+            if cumulative >= threshold:
+                return bucket
+        return max(self._counts)
+
+    def as_counts(self) -> Dict[int, int]:
+        """Raw ``{bucket_lower_bound: count}`` (for serialisation)."""
+        return dict(self._counts)
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "counts": {str(bucket): n for bucket, n in sorted(self._counts.items())},
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, Any]) -> "Histogram":
+        histogram = cls(payload["kind"])
+        for bucket, n in payload["counts"].items():
+            if n:
+                histogram._counts[int(bucket)] = int(n)
+        histogram.count = payload["count"]
+        histogram.total = payload["total"]
+        histogram.min = payload["min"]
+        histogram.max = payload["max"]
+        return histogram
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and +self._counts == +other._counts
+            and self.count == other.count
+            and self.total == other.total
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Histogram {self.kind} n={self.count} mean={self.mean:.1f} "
+            f"max={self.max}>"
+        )
+
+
+class Histograms:
+    """The full set of per-run telemetry distributions.
+
+    Engines and primitives record into this through the ``histograms``
+    attribute of the simulator (duck-typed; see the package docstring).
+    Keys are plain strings -- slot-type values, miss-class values,
+    server names -- so the whole container serialises to canonical JSON
+    and compares exactly across serial, parallel and cached executions.
+    """
+
+    __slots__ = (
+        "slot_occupancy",
+        "slot_wait",
+        "miss_latency",
+        "upgrade_latency",
+        "queue_depth",
+        "_pending_slots",
+        "_pending_miss",
+        "_pending_upgrade",
+        "_pending_queue",
+    )
+
+    def __init__(self) -> None:
+        #: Cycles each granted slot stayed occupied, per slot type.
+        self.slot_occupancy: Dict[str, Histogram] = {}
+        #: Cycles senders waited for a free slot, per slot type.
+        self.slot_wait: Dict[str, Histogram] = {}
+        #: Miss latency in ps, per miss class (paper Figure 5 classes).
+        self.miss_latency: Dict[str, Histogram] = {}
+        #: Upgrade (pure invalidation) latency in ps.
+        self.upgrade_latency: Histogram = Histogram("log2")
+        #: Requests already queued or in service when a new request
+        #: arrives, per server (memory banks are ``mem<node>``).
+        self.queue_depth: Dict[str, Histogram] = {}
+        # Hot-path staging: each record_* call is ONE Counter increment
+        # on a composite key; :meth:`finalize` expands the counters
+        # into the Histogram tables above.  The observed value spaces
+        # are small (quantised cycle/latency arithmetic), so staging is
+        # also memory-bounded.
+        self._pending_slots: Counter = Counter()
+        self._pending_miss: Counter = Counter()
+        self._pending_upgrade: Counter = Counter()
+        self._pending_queue: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Recording (hot paths: one dict operation each)
+    # ------------------------------------------------------------------
+    def record_slot_grant(
+        self, slot_type: str, occupancy_cycles: int, wait_cycles: int
+    ) -> None:
+        self._pending_slots[(slot_type, occupancy_cycles, wait_cycles)] += 1
+
+    def record_miss(self, miss_class: str, latency_ps: int) -> None:
+        self._pending_miss[(miss_class, latency_ps)] += 1
+
+    def record_upgrade(self, latency_ps: int) -> None:
+        self._pending_upgrade[latency_ps] += 1
+
+    def record_queue_depth(self, server: str, depth: int) -> None:
+        self._pending_queue[(server, depth)] += 1
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _series(table: Dict[str, Histogram], key: str, kind: str) -> Histogram:
+        histogram = table.get(key)
+        if histogram is None:
+            histogram = table[key] = Histogram(kind)
+        return histogram
+
+    def finalize(self) -> "Histograms":
+        """Drain the staged counters into the histogram tables.
+
+        Idempotent; every reader (serialisation, equality, merging,
+        rendering) calls it, so explicit calls are only needed when
+        accessing the table attributes directly.  Returns ``self``.
+        """
+        for (slot_type, occupancy, wait), n in self._pending_slots.items():
+            self._series(self.slot_occupancy, slot_type, "exact").record_many(
+                occupancy, n
+            )
+            self._series(self.slot_wait, slot_type, "log2").record_many(
+                wait, n
+            )
+        self._pending_slots.clear()
+        for (miss_class, latency), n in self._pending_miss.items():
+            self._series(self.miss_latency, miss_class, "log2").record_many(
+                latency, n
+            )
+        self._pending_miss.clear()
+        for latency, n in self._pending_upgrade.items():
+            self.upgrade_latency.record_many(latency, n)
+        self._pending_upgrade.clear()
+        for (server, depth), n in self._pending_queue.items():
+            self._series(self.queue_depth, server, "exact").record_many(
+                depth, n
+            )
+        self._pending_queue.clear()
+        return self
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "Histograms") -> None:
+        """Fold another run's distributions into this one."""
+        self.finalize()
+        other.finalize()
+        for mine, theirs in (
+            (self.slot_occupancy, other.slot_occupancy),
+            (self.slot_wait, other.slot_wait),
+            (self.miss_latency, other.miss_latency),
+            (self.queue_depth, other.queue_depth),
+        ):
+            for key, histogram in theirs.items():
+                self._series(mine, key, histogram.kind).merge(histogram)
+        self.upgrade_latency.merge(other.upgrade_latency)
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        self.finalize()
+
+        def table(histograms: Dict[str, Histogram]) -> Dict[str, Any]:
+            return {
+                key: histograms[key].to_jsonable()
+                for key in sorted(histograms)
+            }
+
+        return {
+            "slot_occupancy": table(self.slot_occupancy),
+            "slot_wait": table(self.slot_wait),
+            "miss_latency": table(self.miss_latency),
+            "upgrade_latency": self.upgrade_latency.to_jsonable(),
+            "queue_depth": table(self.queue_depth),
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, Any]) -> "Histograms":
+        histograms = cls()
+        for attribute in (
+            "slot_occupancy",
+            "slot_wait",
+            "miss_latency",
+            "queue_depth",
+        ):
+            table = getattr(histograms, attribute)
+            for key, entry in payload[attribute].items():
+                table[key] = Histogram.from_jsonable(entry)
+        histograms.upgrade_latency = Histogram.from_jsonable(
+            payload["upgrade_latency"]
+        )
+        return histograms
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histograms):
+            return NotImplemented
+        self.finalize()
+        other.finalize()
+        return all(
+            getattr(self, attribute) == getattr(other, attribute)
+            for attribute in (
+                "slot_occupancy",
+                "slot_wait",
+                "miss_latency",
+                "upgrade_latency",
+                "queue_depth",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _rows(
+        self, histograms: Iterable[Tuple[str, Histogram]]
+    ) -> List[Dict[str, Any]]:
+        rows = []
+        for key, histogram in histograms:
+            if not histogram.count:
+                continue
+            rows.append(
+                {
+                    "series": key,
+                    "count": histogram.count,
+                    "mean": round(histogram.mean, 1),
+                    "p50": histogram.percentile(0.50),
+                    "p90": histogram.percentile(0.90),
+                    "max": histogram.max,
+                }
+            )
+        return rows
+
+    def render(self) -> str:
+        """Human-readable tables of every populated distribution."""
+        from repro.analysis.tables import render_table
+
+        self.finalize()
+        sections = []
+        for title, rows in (
+            (
+                "Slot occupancy (ring cycles per grant)",
+                self._rows(sorted(self.slot_occupancy.items())),
+            ),
+            (
+                "Slot wait (ring cycles per grant)",
+                self._rows(sorted(self.slot_wait.items())),
+            ),
+            (
+                "Miss latency (ps, log2 buckets)",
+                self._rows(sorted(self.miss_latency.items())),
+            ),
+            (
+                "Upgrade latency (ps, log2 buckets)",
+                self._rows([("upgrade", self.upgrade_latency)]),
+            ),
+            (
+                "Memory queue depth at arrival (requests)",
+                self._rows(sorted(self.queue_depth.items())),
+            ),
+        ):
+            if rows:
+                sections.append(render_table(rows, title=title, decimals=1))
+        return "\n\n".join(sections)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        self.finalize()
+        populated = sum(
+            1
+            for table in (
+                self.slot_occupancy,
+                self.slot_wait,
+                self.miss_latency,
+                self.queue_depth,
+            )
+            for histogram in table.values()
+            if histogram.count
+        )
+        return f"<Histograms {populated} populated series>"

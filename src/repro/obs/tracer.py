@@ -1,0 +1,275 @@
+"""Structured event tracing for the simulation engines.
+
+A :class:`Tracer` is a bounded ring buffer of :class:`TraceEvent`
+records.  Hook points in the kernel, slot scheduler, protocol engines,
+bus and processors emit events only when a tracer is attached to the
+simulator (``sim.tracer`` defaults to ``None``), so tracing is strictly
+opt-in and recording never schedules simulation events.
+
+Timestamps are the kernel's integer picoseconds.  Two export formats:
+
+* **JSONL** -- one JSON object per event, raw picosecond fields; easy
+  to grep and to post-process.
+* **Chrome ``trace_event`` JSON** -- loadable in ``chrome://tracing``
+  and https://ui.perfetto.dev.  Events are grouped into one process
+  with one thread ("track") per simulated component; timestamps are
+  converted to the format's microseconds and the event list is sorted
+  by time, so per-track timestamps are monotonically non-decreasing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "Tracer", "DEFAULT_CAPACITY"]
+
+#: Default ring-buffer capacity (events); oldest events drop beyond it.
+DEFAULT_CAPACITY = 1_000_000
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One telemetry event on the integer-picosecond clock.
+
+    ``phase`` follows the Chrome trace-event vocabulary: ``"X"`` for a
+    complete (duration) event, ``"i"`` for an instant.
+    """
+
+    ts_ps: int
+    dur_ps: int
+    phase: str
+    category: str
+    name: str
+    track: str
+    args: Optional[Dict[str, Any]] = field(default=None)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "ts_ps": self.ts_ps,
+            "ph": self.phase,
+            "cat": self.category,
+            "name": self.name,
+            "track": self.track,
+        }
+        if self.phase == "X":
+            payload["dur_ps"] = self.dur_ps
+        if self.args:
+            payload["args"] = self.args
+        return payload
+
+
+class Tracer:
+    """Bounded in-memory event recorder with Chrome/JSONL export."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque()
+        #: Events evicted because the ring buffer was full.
+        self.dropped = 0
+        #: Total events emitted (including any later dropped).
+        self.emitted = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, in emission order."""
+        return list(self._events)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def emit(self, event: TraceEvent) -> None:
+        if len(self._events) >= self.capacity:
+            self._events.popleft()
+            self.dropped += 1
+        self._events.append(event)
+        self.emitted += 1
+
+    def instant(
+        self,
+        ts_ps: int,
+        category: str,
+        name: str,
+        track: str,
+        **args: Any,
+    ) -> None:
+        self.emit(TraceEvent(ts_ps, 0, "i", category, name, track, args or None))
+
+    def complete(
+        self,
+        ts_ps: int,
+        dur_ps: int,
+        category: str,
+        name: str,
+        track: str,
+        **args: Any,
+    ) -> None:
+        self.emit(
+            TraceEvent(ts_ps, dur_ps, "X", category, name, track, args or None)
+        )
+
+    # ------------------------------------------------------------------
+    # Domain helpers (the instrumented modules call these)
+    # ------------------------------------------------------------------
+    def process_spawn(self, ts_ps: int, name: str) -> None:
+        self.instant(ts_ps, "kernel", "process.spawn", "kernel", process=name)
+
+    def process_finish(self, ts_ps: int, name: str) -> None:
+        self.instant(ts_ps, "kernel", "process.finish", "kernel", process=name)
+
+    def slot_grant(
+        self,
+        ts_ps: int,
+        dur_ps: int,
+        slot_type: str,
+        slot_index: int,
+        node: int,
+        wait_cycles: int,
+    ) -> None:
+        self.complete(
+            ts_ps,
+            dur_ps,
+            "ring.scheduler",
+            "slot.grant",
+            f"slot:{slot_type}",
+            node=node,
+            slot=slot_index,
+            wait_cycles=wait_cycles,
+        )
+
+    def message(
+        self,
+        ts_ps: int,
+        dur_ps: int,
+        category: str,
+        kind: str,
+        src: int,
+        dst: int,
+    ) -> None:
+        self.complete(
+            ts_ps, dur_ps, category, f"msg.{kind}", f"node{src}", src=src, dst=dst
+        )
+
+    def miss_start(
+        self, ts_ps: int, category: str, node: int, address: int, outcome: str
+    ) -> None:
+        self.instant(
+            ts_ps,
+            category,
+            "miss.start",
+            f"node{node}",
+            address=f"{address:#x}",
+            outcome=outcome,
+        )
+
+    def miss_commit(
+        self,
+        start_ps: int,
+        end_ps: int,
+        category: str,
+        node: int,
+        address: int,
+        outcome: str,
+    ) -> None:
+        self.complete(
+            start_ps,
+            end_ps - start_ps,
+            category,
+            "miss",
+            f"node{node}",
+            address=f"{address:#x}",
+            outcome=outcome,
+        )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def iter_jsonl(self) -> Iterator[str]:
+        """One compact JSON line per retained event."""
+        for event in self._events:
+            yield json.dumps(
+                event.to_jsonable(), sort_keys=True, separators=(",", ":")
+            )
+
+    def write_jsonl(self, path: "str | pathlib.Path") -> int:
+        """Write the JSONL export; returns the number of events written."""
+        count = 0
+        with open(path, "w") as handle:
+            for line in self.iter_jsonl():
+                handle.write(line + "\n")
+                count += 1
+        return count
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The Chrome ``trace_event`` representation (JSON object form).
+
+        One pid (the simulation) with one tid per track, named through
+        metadata events; events sorted by timestamp so every track's
+        ``ts`` sequence is monotonically non-decreasing.  Timestamps
+        and durations are microseconds (floats), per the format.
+        """
+        tids: Dict[str, int] = {}
+        body: List[Dict[str, Any]] = []
+        for event in sorted(self._events, key=lambda ev: ev.ts_ps):
+            tid = tids.setdefault(event.track, len(tids))
+            entry: Dict[str, Any] = {
+                "name": event.name,
+                "cat": event.category,
+                "ph": event.phase,
+                "ts": event.ts_ps / 1e6,
+                "pid": 0,
+                "tid": tid,
+            }
+            if event.phase == "X":
+                entry["dur"] = event.dur_ps / 1e6
+            elif event.phase == "i":
+                entry["s"] = "t"
+            if event.args:
+                entry["args"] = dict(event.args)
+            body.append(entry)
+        metadata: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "args": {"name": "repro simulation"},
+            }
+        ]
+        for track, tid in tids.items():
+            metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        return {
+            "traceEvents": metadata + body,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "clock": "integer picoseconds (ts exported as us)",
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+            },
+        }
+
+    def write_chrome(self, path: "str | pathlib.Path") -> int:
+        """Write the Chrome trace JSON; returns the retained event count."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle)
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Tracer {len(self._events)}/{self.capacity} events, "
+            f"{self.dropped} dropped>"
+        )

@@ -154,6 +154,16 @@ class TraceProcessor:
             blocked_from = sim.now
             yield from self.engine.miss(self.node, address, outcome)
             counters.blocked_ps += sim.now - blocked_from
+            tracer = sim.tracer
+            if tracer is not None:
+                tracer.complete(
+                    blocked_from,
+                    sim.now - blocked_from,
+                    "proc",
+                    f"stall.{outcome.name.lower()}",
+                    f"cpu{self.node}",
+                    address=f"{address:#x}",
+                )
 
         if pending_ps:
             yield sim.timeout(pending_ps)

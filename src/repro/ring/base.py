@@ -84,6 +84,11 @@ class RingSystemBase:
     def clock_ps(self) -> int:
         return self.config.ring.clock_ps
 
+    @property
+    def trace_category(self) -> str:
+        """Telemetry component name for this engine's events."""
+        return f"ring.{self.protocol.value}"
+
     def cycles_ps(self, cycles: int) -> int:
         return cycles * self.clock_ps
 
@@ -148,6 +153,16 @@ class RingSystemBase:
         )
         self.stats.probes_sent += 1
         arrival = grant.grab_cycle + distance + self.layout.probe_stages
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.message(
+                self.scheduler.cycle_to_ps(grant.grab_cycle),
+                self.scheduler.cycle_to_ps(arrival - grant.grab_cycle),
+                self.trace_category,
+                "probe",
+                src,
+                dst,
+            )
         yield from self.wait_until_cycle(arrival)
         return arrival
 
@@ -164,6 +179,16 @@ class RingSystemBase:
         )
         self.stats.blocks_sent += 1
         arrival = grant.grab_cycle + distance + self.layout.block_stages
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.message(
+                self.scheduler.cycle_to_ps(grant.grab_cycle),
+                self.scheduler.cycle_to_ps(arrival - grant.grab_cycle),
+                self.trace_category,
+                "block",
+                src,
+                dst,
+            )
         yield from self.wait_until_cycle(arrival)
         return arrival
 
@@ -182,6 +207,16 @@ class RingSystemBase:
         )
         self.stats.probes_sent += 1
         self.stats.broadcast_probes += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.message(
+                self.scheduler.cycle_to_ps(grant.grab_cycle),
+                self.scheduler.cycle_to_ps(self.topology.total_stages),
+                self.trace_category,
+                "probe.broadcast",
+                src,
+                src,
+            )
         return grant
 
     def passage_cycle(self, grant: SlotGrant, src: int, node: int) -> int:
@@ -294,6 +329,11 @@ class RingSystemBase:
     def miss(self, node: int, address: int, outcome: AccessOutcome) -> Step:
         """Handle a non-hit reference; returns the latency in ps."""
         start_ps = self.sim.now
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.miss_start(
+                start_ps, self.trace_category, node, address, outcome.name
+            )
         block = self.address_map.block_of(address)
         lock = self.block_lock(block)
         # Read misses run under a shared lock (only the requester's own
@@ -310,18 +350,27 @@ class RingSystemBase:
         try:
             effective = self._reresolve(node, address, outcome)
             if effective is None:
-                return self.sim.now - start_ps
-            if (
+                pass  # satisfied while queued behind the block lock
+            elif (
                 effective is AccessOutcome.UPGRADE
                 and not self.address_map.is_shared(address)
             ):
                 # Private data needs no coherence: a store to a clean
                 # private line just sets the dirty state locally.
                 self.caches[node].apply_upgrade(address)
-                return self.sim.now - start_ps
-            yield from self.transact(node, address, effective, start_ps)
+            else:
+                yield from self.transact(node, address, effective, start_ps)
         finally:
             lock.release()
+        if tracer is not None:
+            tracer.miss_commit(
+                start_ps,
+                self.sim.now,
+                self.trace_category,
+                node,
+                address,
+                outcome.name,
+            )
         return self.sim.now - start_ps
 
     def _reresolve(

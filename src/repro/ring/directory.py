@@ -257,6 +257,17 @@ class DirectoryRingSystem(RingSystemBase):
             yield from self.send_probe(home, owner, address)
             arcs += self.topology.distance(home, owner)
             self.stats.forwards += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    self.sim.now,
+                    self.trace_category,
+                    "forward",
+                    f"node{home}",
+                    owner=owner,
+                    requester=requester,
+                    address=f"{address:#x}",
+                )
         yield self.sim.timeout(self.config.memory.cache_response_ps)
         if owner != requester:
             yield from self.send_block(owner, requester)
@@ -276,6 +287,17 @@ class DirectoryRingSystem(RingSystemBase):
                 target, address, self.passage_cycle(grant, home, target)
             )
             directory.remove_sharer(block, target)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.complete(
+                self.scheduler.cycle_to_ps(grant.grab_cycle),
+                self.scheduler.cycle_to_ps(self.topology.total_stages),
+                self.trace_category,
+                "multicast.invalidate",
+                f"node{home}",
+                targets=sorted(targets),
+                address=f"{address:#x}",
+            )
         yield from self.wait_until_cycle(
             grant.grab_cycle + self.topology.total_stages
         )

@@ -183,9 +183,25 @@ class SlotScheduler:
                 slot.freed_by = removed_by
                 slot.busy_cycles += occupancy_cycles
                 slot.grabs += 1
+                waited = arrival - start_cycle
                 self.granted_cycles[slot_type] += occupancy_cycles
                 self.granted_messages[slot_type] += 1
-                self.wait_cycles[slot_type] += arrival - start_cycle
+                self.wait_cycles[slot_type] += waited
+                histograms = self.sim.histograms
+                if histograms is not None:
+                    histograms.record_slot_grant(
+                        slot_type.value, occupancy_cycles, waited
+                    )
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.slot_grant(
+                        self.cycle_to_ps(arrival),
+                        self.cycle_to_ps(occupancy_cycles),
+                        slot_type.value,
+                        slot.index,
+                        node,
+                        waited,
+                    )
                 return SlotGrant(
                     slot=slot, grab_cycle=arrival, release_cycle=release
                 )

@@ -258,6 +258,16 @@ class SnoopingRingSystem(RingSystemBase):
         self.dirty_bits.set_dirty(block)
         self._dirty_node[block] = node
         self.commit_upgrade(node, address)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.sim.now,
+                self.trace_category,
+                "upgrade.ack",
+                f"node{node}",
+                address=f"{address:#x}",
+                sharers=len(sharers),
+            )
         self.stats.record_upgrade(
             self.sim.now - start_ps, traversals=1, had_sharers=bool(sharers)
         )
@@ -307,3 +317,12 @@ class SnoopingRingSystem(RingSystemBase):
             yield from self.wait_until_cycle(arrival)
         yield self.banks[home].access()
         self.stats.sharing_writebacks += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.sim.now,
+                self.trace_category,
+                "sharing-writeback",
+                f"node{owner}",
+                block=f"{block:#x}",
+            )

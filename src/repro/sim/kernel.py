@@ -160,6 +160,13 @@ class Simulator:
         self._heap: List[Tuple[int, int, "Process", Any]] = []
         self._sequence = itertools.count()
         self._active_processes = 0
+        #: Optional telemetry sinks (see ``repro.obs``).  Both default
+        #: to ``None`` and are duck-typed: the kernel and the modules
+        #: built on it never import the observability package, they
+        #: only check these attributes, so telemetry is zero-cost when
+        #: disabled and cannot alter event ordering when enabled.
+        self.tracer: Optional[Any] = None
+        self.histograms: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -169,11 +176,36 @@ class Simulator:
         process = Process(body, name, self)
         self._active_processes += 1
         self._schedule(self.now, process, None)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.process_spawn(self.now, process.name)
         return process
 
     def timeout(self, delay: int) -> Timeout:
-        """Create a delay request for ``yield`` (delay in picoseconds)."""
-        return Timeout(int(delay))
+        """Create a delay request for ``yield`` (delay in picoseconds).
+
+        Delays must be an integral number of picoseconds: the integer
+        clock is the determinism contract of this kernel, so a
+        non-integral float is rejected with :class:`TypeError` rather
+        than silently truncated (truncation would let two call sites
+        that differ by sub-picosecond rounding diverge invisibly).
+        Integral floats (e.g. the result of ``1e6 / mhz`` arithmetic
+        that happens to land exactly) are accepted and converted.
+        """
+        if not isinstance(delay, int):
+            if isinstance(delay, float):
+                if not delay.is_integer():
+                    raise TypeError(
+                        f"timeout delay must be an integral number of "
+                        f"picoseconds, got {delay!r}"
+                    )
+                delay = int(delay)
+            else:
+                raise TypeError(
+                    f"timeout delay must be an int (picoseconds), "
+                    f"got {type(delay).__name__}"
+                )
+        return Timeout(delay)
 
     def event(self, name: str = "") -> Event:
         """Create a fresh pending :class:`Event`."""
@@ -199,6 +231,9 @@ class Simulator:
             process.result = stop.value
             self._active_processes -= 1
             process._done_event.succeed(stop.value)
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.process_finish(self.now, process.name)
             return
         if isinstance(request, Timeout):
             self._schedule(self.now + request.delay, process, None)
@@ -215,14 +250,33 @@ class Simulator:
     def run(self, until: Optional[int] = None) -> int:
         """Run until the event heap drains (or past time ``until``).
 
-        Returns the final simulation time.  With ``until`` set, the
-        clock stops exactly at ``until`` if events remain beyond it.
+        Returns the final simulation time.  Resumability contract:
+
+        * ``run(until=T)`` processes every event with timestamp <= T,
+          then leaves the clock at exactly ``T`` -- whether events
+          remain beyond it or the heap drained early -- so interleaved
+          ``run(until)`` / ``run()`` calls observe one monotonic clock.
+        * Events left on the heap stay scheduled; a subsequent ``run``
+          resumes them.  New processes spawned between runs schedule at
+          the current (resumed) time, so they may run *before* the
+          wakeup a prior :meth:`peek` reported -- but never before
+          ``now``.
+        * ``until`` in the past is a caller bug and raises
+          :class:`ValueError` instead of silently rewinding the clock
+          (which would corrupt every pending-event invariant).
         """
+        if until is not None and until < self.now:
+            raise ValueError(
+                f"run(until={until}) would move time backwards "
+                f"(now={self.now})"
+            )
         while self._heap:
             if until is not None and self._heap[0][0] > until:
                 self.now = until
                 return self.now
             self._step()
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     def peek(self) -> Optional[int]:

@@ -211,6 +211,8 @@ class FifoServer:
         self.name = name
         #: Earliest time the server is free again.
         self._free_at: int = 0
+        #: Requests accepted but not yet completed (queued + in service).
+        self._pending: int = 0
         self.requests: int = 0
         self.busy_time: int = 0
         self.total_wait: int = 0
@@ -224,12 +226,17 @@ class FifoServer:
         self.requests += 1
         self.busy_time += duration
         self.total_wait += start - self._sim.now
+        histograms = self._sim.histograms
+        if histograms is not None:
+            histograms.record_queue_depth(self.name, self._pending)
+        self._pending += 1
         event = self._sim.event(name=f"served:{self.name}")
         self._sim.spawn(self._fire_at(finish, event), name=f"{self.name}:svc")
         return event
 
     def _fire_at(self, when: int, event: Event) -> Generator[Any, Any, None]:
         yield self._sim.timeout(when - self._sim.now)
+        self._pending -= 1
         event.succeed(self._sim.now)
 
     def reset_statistics(self) -> None:

@@ -281,3 +281,82 @@ def test_large_time_values(sim):
 
     sim.spawn(body())
     assert sim.run() == 10**15
+
+
+# ----------------------------------------------------------------------
+# timeout() argument validation (regression: int(delay) used to
+# silently truncate non-integral floats)
+# ----------------------------------------------------------------------
+def test_timeout_rejects_non_integral_float(sim):
+    with pytest.raises(TypeError, match="integral"):
+        sim.timeout(1000.5)
+
+
+def test_timeout_rejects_non_numeric_delay(sim):
+    with pytest.raises(TypeError, match="int"):
+        sim.timeout("1000")
+
+
+def test_timeout_accepts_integral_float(sim):
+    log = []
+
+    def body():
+        yield sim.timeout(2000.0)  # e.g. exact 1e6/mhz arithmetic
+        log.append(sim.now)
+
+    sim.spawn(body())
+    sim.run()
+    assert log == [2000]
+    assert isinstance(sim.now, int)
+
+
+# ----------------------------------------------------------------------
+# run(until=...) resumability contract
+# ----------------------------------------------------------------------
+def test_run_until_resumes_across_interleaved_peeks(sim):
+    log = []
+
+    def body(tag, delay):
+        yield sim.timeout(delay)
+        log.append((tag, sim.now))
+
+    sim.spawn(body("a", 3_000))
+    sim.spawn(body("b", 9_000))
+    assert sim.run(until=1_000) == 1_000
+    assert log == []
+    assert sim.peek() == 3_000
+
+    assert sim.run(until=5_000) == 5_000
+    assert log == [("a", 3_000)]
+    assert sim.peek() == 9_000
+
+    # A process spawned mid-run schedules at the resumed clock: it runs
+    # before the peeked 9_000 wakeup but never before now.
+    sim.spawn(body("late", 2_000))
+    assert sim.run() == 9_000
+    assert log == [("a", 3_000), ("late", 7_000), ("b", 9_000)]
+
+
+def test_run_until_past_heap_advances_clock_exactly(sim):
+    def body():
+        yield sim.timeout(1_000)
+
+    sim.spawn(body())
+    # The heap drains at t=1000; the clock must still land at `until`.
+    assert sim.run(until=6_000) == 6_000
+    assert sim.now == 6_000
+    # Resuming with nothing scheduled stays put.
+    assert sim.run() == 6_000
+
+
+def test_run_until_in_the_past_raises(sim):
+    def body():
+        yield sim.timeout(4_000)
+
+    sim.spawn(body())
+    sim.run(until=3_000)
+    with pytest.raises(ValueError, match="backwards"):
+        sim.run(until=1_000)
+    # The failed call must not have corrupted the clock or the heap.
+    assert sim.now == 3_000
+    assert sim.run() == 4_000

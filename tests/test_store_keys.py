@@ -1,0 +1,94 @@
+"""Cross-version stability of the persistent store's cache keys.
+
+The content-addressed store is only shareable across sessions (and
+across code versions that did not change the serialised format) if the
+key derivation is stable: canonical JSON in, SHA-256 out, with no
+``repr()``- or ``hash()``-derived components anywhere in the setup
+payload.  These tests pin that down:
+
+* a checked-in golden fingerprint for a fixture setup -- any
+  accidental change to key derivation (field ordering, float
+  formatting, enum rendering, schema bump) fails loudly here, so
+  bumping :data:`repro.core.store.SCHEMA_VERSION` is a conscious act
+  that updates this constant alongside;
+* a recursive audit that the setup payload contains only JSON scalar
+  types (no enums, dataclasses, tuples or other objects whose JSON
+  rendering could drift between Python versions).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.config import Protocol, SystemConfig
+from repro.core.store import (
+    SCHEMA_VERSION,
+    config_from_jsonable,
+    config_to_jsonable,
+    result_fingerprint,
+)
+
+#: Fingerprint of the fixture setup below under schema version 2.
+#: Regenerate (and review the diff that forced it) with:
+#:   python -c "from repro.core.store import result_fingerprint;
+#:              from repro.core.config import *;
+#:              print(result_fingerprint('mp3d', 2000,
+#:                    SystemConfig(num_processors=8)))"
+GOLDEN_KEY = "0cf869aae1f1b6630d4d6a8e9623f0c7d41efec25d7438977f5eab79bcd9fe8a"
+
+
+def _fixture_config() -> SystemConfig:
+    return SystemConfig(num_processors=8, protocol=Protocol.SNOOPING)
+
+
+def test_fixture_fingerprint_matches_golden_string():
+    assert SCHEMA_VERSION == 2  # bumping the schema must retire this key
+    assert result_fingerprint("mp3d", 2000, _fixture_config()) == GOLDEN_KEY
+
+
+def test_fingerprint_varies_with_every_setup_component():
+    from dataclasses import replace
+
+    base = _fixture_config()
+    variants = [
+        result_fingerprint("water", 2000, base),
+        result_fingerprint("mp3d", 2001, base),
+        result_fingerprint("mp3d", 2000, replace(base, seed=base.seed + 1)),
+        result_fingerprint(
+            "mp3d", 2000, replace(base, protocol=Protocol.DIRECTORY)
+        ),
+        result_fingerprint(
+            "mp3d",
+            2000,
+            replace(base, ring=replace(base.ring, clock_ps=base.ring.clock_ps + 1)),
+        ),
+        result_fingerprint("mp3d", 2000, base, salt="gen1"),
+    ]
+    assert len(set(variants + [GOLDEN_KEY])) == len(variants) + 1
+
+
+def _assert_json_scalars(value, path="config"):
+    """Only dict/str keys and str/int/float/bool/None leaves allowed."""
+    if isinstance(value, dict):
+        for key, nested in value.items():
+            assert isinstance(key, str), f"non-string key at {path}: {key!r}"
+            _assert_json_scalars(nested, f"{path}.{key}")
+    elif isinstance(value, list):
+        for index, nested in enumerate(value):
+            _assert_json_scalars(nested, f"{path}[{index}]")
+    else:
+        assert value is None or isinstance(
+            value, (str, int, float, bool)
+        ), f"non-JSON-scalar at {path}: {type(value).__name__}"
+
+
+def test_key_payload_contains_only_json_scalars():
+    payload = config_to_jsonable(_fixture_config())
+    _assert_json_scalars(payload)
+    # And it is genuinely canonical: a JSON round-trip is a fixed point.
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_config_payload_roundtrips_exactly():
+    config = _fixture_config()
+    assert config_from_jsonable(config_to_jsonable(config)) == config
