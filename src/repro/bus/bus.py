@@ -111,6 +111,11 @@ class BusSystem:
             and self._dirty_node.get(block) == node
         )
 
+    def coherence_view(self, block: int) -> tuple:
+        """Same canonical metadata shape as the ring engines."""
+        dirty = self.dirty_bits.is_dirty(block)
+        return ("dirty-bit", dirty, self._dirty_node.get(block) if dirty else None)
+
     # ------------------------------------------------------------------
     # Transaction entry point (same interface as the ring engines)
     # ------------------------------------------------------------------
@@ -174,6 +179,9 @@ class BusSystem:
                 address,
                 outcome.name,
             )
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_commit(self, node, address, outcome.name)
         return self.sim.now - start_ps
 
     # ------------------------------------------------------------------
@@ -345,6 +353,9 @@ class BusSystem:
             self.stats.writebacks += 1
         finally:
             lock.release()
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_commit(self, node, address, "WRITEBACK")
 
     def _memory_update(self, owner: int, block: int) -> Step:
         """Memory refresh after a downgrade (bus + bank time only)."""

@@ -1,0 +1,41 @@
+"""Coherence model checker and runtime invariant monitor.
+
+Three layers, one oracle (:mod:`repro.check.invariants`):
+
+* :mod:`repro.check.explorer` -- exhaustive BFS over the quiescent
+  state space of tiny configurations; minimal counterexamples.
+* :mod:`repro.check.fuzz` -- seeded random walks over mid-size
+  configurations, bit-identical replay from (seed, step).
+* :mod:`repro.check.monitor` -- opt-in runtime checker attached to a
+  full simulation via ``Simulator.monitor`` (same duck-typed hook
+  pattern as ``Simulator.tracer``; hot paths never import this
+  package).
+
+See ``docs/CHECKING.md`` for the state abstraction and the invariant
+catalogue.
+"""
+
+from repro.check.explorer import Counterexample, ExploreReport, explore
+from repro.check.fuzz import FuzzReport, fuzz
+from repro.check.invariants import (
+    InvariantViolation,
+    check_block,
+    check_engine,
+)
+from repro.check.monitor import InvariantMonitor
+from repro.check.state import EngineHarness, Ref, StepSpec
+
+__all__ = [
+    "Counterexample",
+    "EngineHarness",
+    "ExploreReport",
+    "FuzzReport",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "Ref",
+    "StepSpec",
+    "check_block",
+    "check_engine",
+    "explore",
+    "fuzz",
+]

@@ -1,0 +1,278 @@
+"""Exhaustive breadth-first exploration of small protocol configs.
+
+In the spirit of the CSP/FDR models Meunier et al. built for
+ring-based coherence (and of classic Murphi protocol verification),
+the explorer enumerates *every* quiescent system state reachable from
+the cold state under a bounded reference alphabet -- all single
+references plus, optionally, all two-node concurrent "race" steps --
+for a small configuration (2--4 nodes, 1--2 shared lines).  At every
+newly reached state it asserts the full strict invariant set (SWMR,
+directory--cache agreement, freshness, bystander legality, and
+deadlock/livelock freedom during the drain).
+
+Because engine state cannot be copied (it lives in suspended
+generators), each BFS expansion *replays* the frontier state's step
+script on a fresh engine and then applies one more step.  Replay makes
+expansions O(depth), but the abstract state spaces at checker scale
+are tiny (tens to a few thousand states) and BFS order guarantees the
+first violation found has a *minimal* script -- the shortest
+counterexample, directly replayable (optionally under a
+:class:`repro.obs.Tracer` for a full event trace).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.check.invariants import InvariantViolation
+from repro.memory.states import IllegalTransition
+from repro.ring.base import ProtocolError
+from repro.check.state import (
+    PROTOCOLS,
+    AbstractState,
+    EngineHarness,
+    Ref,
+    StepSpec,
+)
+
+__all__ = [
+    "Counterexample",
+    "ExploreReport",
+    "step_alphabet",
+    "explore",
+]
+
+#: Golden counterexample schema version (tests pin the layout).
+COUNTEREXAMPLE_SCHEMA = 1
+
+
+@dataclass
+class Counterexample:
+    """A minimal failing script, replayable on a fresh engine."""
+
+    protocol: str
+    nodes: int
+    lines: int
+    script: Tuple[StepSpec, ...]
+    kind: str
+    message: str
+
+    @property
+    def depth(self) -> int:
+        return len(self.script)
+
+    def as_dict(self) -> dict:
+        """Stable JSON-serialisable form (schema pinned by tests)."""
+        return {
+            "schema": COUNTEREXAMPLE_SCHEMA,
+            "protocol": self.protocol,
+            "nodes": self.nodes,
+            "lines": self.lines,
+            "violation": {"kind": self.kind, "message": self.message},
+            "depth": self.depth,
+            "script": [
+                {
+                    "step": index,
+                    "label": step.label(),
+                    "refs": [
+                        {
+                            "node": ref.node,
+                            "line": ref.line,
+                            "op": "write" if ref.is_write else "read",
+                        }
+                        for ref in step.refs
+                    ],
+                }
+                for index, step in enumerate(self.script)
+            ],
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def replay(self, tracer: Optional[object] = None) -> EngineHarness:
+        """Re-execute the failing script on a fresh engine.
+
+        Raises the original violation again (same deterministic
+        kernel); with ``tracer`` attached the failure run produces a
+        full event trace for ``repro trace``-style inspection.
+        """
+        return EngineHarness.replay(
+            self.protocol,
+            self.nodes,
+            self.lines,
+            self.script,
+            tracer=tracer,
+        )
+
+    def describe(self) -> str:
+        steps = "\n".join(
+            f"  {index + 1}. {step.label()}"
+            for index, step in enumerate(self.script)
+        )
+        return (
+            f"{self.kind} violation on {self.protocol} "
+            f"({self.nodes} nodes, {self.lines} lines) after "
+            f"{self.depth} step(s):\n{steps}\n  -> {self.message}"
+        )
+
+
+@dataclass
+class ExploreReport:
+    """Outcome of one :func:`explore` run."""
+
+    protocol: str
+    nodes: int
+    lines: int
+    states: int = 0
+    steps_applied: int = 0
+    max_depth_reached: int = 0
+    complete: bool = False
+    counterexample: Optional[Counterexample] = None
+    alphabet_size: int = 0
+    limits: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.counterexample is None
+
+    def summary(self) -> str:
+        if not self.ok:
+            return self.counterexample.describe()
+        coverage = "exhaustive" if self.complete else "bounded"
+        return (
+            f"{self.protocol}: {self.states} states, "
+            f"{self.steps_applied} transitions explored "
+            f"({coverage}, depth <= {self.max_depth_reached}, "
+            f"alphabet {self.alphabet_size}), 0 violations"
+        )
+
+
+def step_alphabet(
+    nodes: int, lines: int, *, races: bool = True
+) -> List[StepSpec]:
+    """Every step the explorer may take from any state.
+
+    Single steps: each (node, line, read/write).  Race steps: each
+    unordered pair of single references at *distinct* nodes (same-node
+    pairs are sequential by definition -- a processor issues one
+    reference at a time).
+    """
+    singles = [
+        Ref(node, line, is_write)
+        for node in range(nodes)
+        for line in range(lines)
+        for is_write in (False, True)
+    ]
+    steps = [StepSpec((ref,)) for ref in singles]
+    if races:
+        for i, first in enumerate(singles):
+            for second in singles[i + 1 :]:
+                if first.node != second.node:
+                    steps.append(StepSpec((first, second)))
+    return steps
+
+
+def explore(
+    protocol: str,
+    nodes: int = 2,
+    lines: int = 1,
+    *,
+    races: bool = True,
+    max_depth: int = 12,
+    max_states: int = 20_000,
+    harness_factory=EngineHarness,
+) -> ExploreReport:
+    """BFS the quiescent state space; stop at the first violation.
+
+    ``harness_factory`` lets tests substitute a harness whose engine
+    carries an injected bug (mutation testing): it must accept the
+    ``(protocol, nodes, lines)`` constructor and expose the
+    :class:`EngineHarness` interface.
+
+    The search is exhaustive (``complete=True``) when it drains the
+    frontier without hitting ``max_depth`` or ``max_states``; both
+    bounds exist only as safety rails for configs larger than the
+    checker's design point.
+    """
+    if protocol not in PROTOCOLS:
+        raise ValueError(
+            f"unknown protocol {protocol!r}; "
+            f"expected one of {sorted(PROTOCOLS)}"
+        )
+    alphabet = step_alphabet(nodes, lines, races=races)
+    report = ExploreReport(
+        protocol=protocol,
+        nodes=nodes,
+        lines=lines,
+        alphabet_size=len(alphabet),
+        limits={"max_depth": max_depth, "max_states": max_states},
+    )
+
+    def run_script(script: Tuple[StepSpec, ...]) -> EngineHarness:
+        harness = harness_factory(protocol, nodes, lines)
+        for step in script:
+            harness.apply(step)
+        return harness
+
+    initial = harness_factory(protocol, nodes, lines)
+    visited: Dict[AbstractState, int] = {initial.snapshot(): 0}
+    frontier: List[Tuple[AbstractState, Tuple[StepSpec, ...]]] = [
+        (initial.snapshot(), ())
+    ]
+    report.states = 1
+    truncated = False
+
+    while frontier:
+        next_frontier: List[
+            Tuple[AbstractState, Tuple[StepSpec, ...]]
+        ] = []
+        for _, script in frontier:
+            depth = len(script) + 1
+            if depth > max_depth:
+                truncated = True
+                continue
+            for step in alphabet:
+                extended = script + (step,)
+                try:
+                    harness = run_script(extended)
+                    harness.check(strict=True)
+                except (ProtocolError, IllegalTransition) as violation:
+                    # InvariantViolation is a ProtocolError; the other
+                    # two are the engines' own built-in assertions
+                    # tripping before the oracle ran -- equally a bug.
+                    kind = getattr(violation, "kind", None) or (
+                        "illegal-transition"
+                        if isinstance(violation, IllegalTransition)
+                        else "protocol-error"
+                    )
+                    report.counterexample = Counterexample(
+                        protocol=protocol,
+                        nodes=nodes,
+                        lines=lines,
+                        script=extended,
+                        kind=kind,
+                        message=str(violation),
+                    )
+                    return report
+                report.steps_applied += 1
+                state = harness.snapshot()
+                if state in visited:
+                    continue
+                if report.states >= max_states:
+                    truncated = True
+                    continue
+                visited[state] = depth
+                report.states += 1
+                report.max_depth_reached = max(
+                    report.max_depth_reached, depth
+                )
+                next_frontier.append((state, extended))
+        frontier = next_frontier
+
+    report.complete = not truncated
+    return report

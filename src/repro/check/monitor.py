@@ -1,0 +1,99 @@
+"""Runtime invariant monitor for full-scale simulations.
+
+The explorer and fuzzer drive purpose-built tiny engines; the monitor
+rides along inside a *real* simulation (``repro simulate`` /
+``repro sweep`` with ``--check-invariants``) the way BlackParrot's
+BedRock protocol checker rides along in RTL simulation.  It follows
+the observability layer's duck-typed hook pattern exactly: the kernel
+carries a ``monitor`` attribute defaulting to ``None``, the engines
+call ``monitor.on_commit(engine, node, address, action)`` at each
+coherence commit point (miss commit, upgrade commit via the miss path,
+write-back completion), and a ``None`` monitor keeps the hot path on a
+no-op branch.  Hot-path modules never import this module -- the same
+AST lint that fences ``repro.obs`` enforces it.
+
+Commit points are *mid-run* states: write-back buffers, in-flight
+downgrades and background list detaches are legal, so the per-commit
+check is the weak agreement form.  Every ``full_check_every`` commits
+the monitor additionally sweeps all resident blocks, and
+``finalize()`` -- called once the event heap drains -- applies the
+strict quiescent checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.check.invariants import InvariantViolation, check_block, check_engine
+
+__all__ = ["InvariantMonitor"]
+
+
+@dataclass
+class MonitorStats:
+    commits: int = 0
+    block_checks: int = 0
+    full_sweeps: int = 0
+    by_action: Dict[str, int] = field(default_factory=dict)
+
+
+class InvariantMonitor:
+    """Checks coherence invariants at every commit point.
+
+    ``full_check_every`` sets the period (in commits) of the full
+    resident-block sweep; 0 disables sweeps and keeps only the O(1)
+    per-commit block check.  A violation raises
+    :class:`InvariantViolation` out of the committing transaction --
+    the simulation stops at the first bug with the failing node,
+    address and action in hand.
+    """
+
+    def __init__(self, *, full_check_every: int = 2048) -> None:
+        self.full_check_every = full_check_every
+        self.stats = MonitorStats()
+        self.last_violation: Optional[InvariantViolation] = None
+
+    # -- engine-facing hook (duck-typed; see sim.kernel.Simulator) -----
+    def on_commit(
+        self, engine, node: int, address: int, action: str
+    ) -> None:
+        stats = self.stats
+        stats.commits += 1
+        stats.by_action[action] = stats.by_action.get(action, 0) + 1
+        try:
+            check_block(engine, address, strict=False)
+            stats.block_checks += 1
+            if (
+                self.full_check_every
+                and stats.commits % self.full_check_every == 0
+            ):
+                check_engine(engine, strict=False)
+                stats.full_sweeps += 1
+        except InvariantViolation as violation:
+            self.last_violation = violation
+            raise InvariantViolation(
+                violation.kind,
+                f"at commit #{stats.commits} "
+                f"({action}, node {node}, address {address:#x}): "
+                f"{violation}",
+            ) from violation
+
+    # -- harness-facing API --------------------------------------------
+    def finalize(self, engine) -> None:
+        """Strict whole-system check once the event heap has drained."""
+        check_engine(engine, strict=True)
+        self.stats.full_sweeps += 1
+
+    def summary(self) -> str:
+        actions = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(self.stats.by_action.items())
+        )
+        return (
+            f"invariant monitor: {self.stats.commits} commits checked "
+            f"({actions}); {self.stats.full_sweeps} full sweeps; "
+            f"0 violations"
+            if self.last_violation is None
+            else f"invariant monitor: VIOLATION {self.last_violation}"
+        )

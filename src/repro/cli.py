@@ -9,6 +9,7 @@ Commands mirror the library's layers:
 * ``validate``  -- model-vs-simulation error report.
 * ``snooprate`` -- the closed-form Table 3.
 * ``benchmarks``-- list available workload configurations.
+* ``check``     -- coherence model checker (``explore`` / ``fuzz``).
 """
 
 from __future__ import annotations
@@ -134,6 +135,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print slot-occupancy / latency / queue-depth histograms",
     )
+    simulate.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="assert coherence invariants at every commit point "
+        "(aborts at the first violation; see docs/CHECKING.md)",
+    )
 
     sweep = commands.add_parser(
         "sweep", help="hybrid-methodology curves for one configuration"
@@ -143,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--protocol",
         choices=sorted(_PROTOCOLS),
         default=Protocol.SNOOPING.value,
+    )
+    sweep.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="run the extraction simulation under the coherence "
+        "monitor (bypasses the result cache)",
     )
 
     compare = commands.add_parser(
@@ -176,6 +189,87 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("snooprate", help="print Table 3 (snooping rate)")
     commands.add_parser("benchmarks", help="list workload configurations")
+
+    check = commands.add_parser(
+        "check",
+        help="coherence model checker (exhaustive / randomized)",
+        description=(
+            "Check the coherence protocols against the invariant "
+            "catalogue in docs/CHECKING.md.  'explore' enumerates every "
+            "reachable quiescent state of a tiny configuration and "
+            "reports a minimal counterexample on failure; 'fuzz' runs a "
+            "long seeded random walk over a larger one."
+        ),
+    )
+    verbs = check.add_subparsers(dest="verb", required=True)
+
+    def add_check_arguments(sub: argparse.ArgumentParser, verb: str) -> None:
+        sub.add_argument(
+            "--protocol",
+            choices=("snooping", "directory", "linkedlist", "bus"),
+            required=True,
+        )
+        sub.add_argument(
+            "--nodes",
+            type=int,
+            default=2 if verb == "explore" else 8,
+            help="system size (default %(default)s)",
+        )
+        sub.add_argument(
+            "--lines",
+            type=int,
+            default=1 if verb == "explore" else 24,
+            help="shared lines in play (default %(default)s)",
+        )
+
+    explore = verbs.add_parser(
+        "explore", help="exhaustive BFS over a tiny configuration"
+    )
+    add_check_arguments(explore, "explore")
+    explore.add_argument(
+        "--max-depth",
+        type=int,
+        default=12,
+        help="step-script depth bound (default 12)",
+    )
+    explore.add_argument(
+        "--max-states",
+        type=int,
+        default=20_000,
+        help="visited-state bound (default 20000)",
+    )
+    explore.add_argument(
+        "--no-races",
+        action="store_true",
+        help="single references only (skip two-node race steps)",
+    )
+    explore.add_argument(
+        "--counterexample",
+        default=None,
+        metavar="PATH",
+        help="write a failing script as JSON to PATH",
+    )
+    explore.add_argument(
+        "--emit-trace",
+        default=None,
+        metavar="PATH",
+        help="replay a failing script under the tracer and write the "
+        "event trace to PATH (jsonl)",
+    )
+
+    fuzz = verbs.add_parser(
+        "fuzz", help="seeded random walk over a mid-size configuration"
+    )
+    add_check_arguments(fuzz, "fuzz")
+    fuzz.add_argument(
+        "--steps",
+        type=int,
+        default=10_000,
+        help="walk length (default 10000)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=1, help="walk seed (default 1)"
+    )
     return parser
 
 
@@ -256,13 +350,21 @@ def _command_simulate(args: argparse.Namespace) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
+    monitor = None
+    if args.check_invariants:
+        from repro.check import InvariantMonitor
+
+        monitor = InvariantMonitor()
     result = run_simulation(
         args.benchmark,
         config=config,
         data_refs=args.refs,
         num_processors=args.processors,
         tracer=tracer,
+        monitor=monitor,
     )
+    if monitor is not None:
+        print(monitor.summary(), file=sys.stderr)
     if tracer is not None:
         trace_format = args.trace_format or (
             "jsonl" if args.emit_trace.endswith(".jsonl") else "chrome"
@@ -318,6 +420,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         args.processors,
         _PROTOCOLS[args.protocol],
         data_refs=args.refs,
+        check_invariants=args.check_invariants,
     )
     rows = [
         {
@@ -449,6 +552,55 @@ def _command_benchmarks(_: argparse.Namespace) -> int:
     return 0
 
 
+def _command_check(args: argparse.Namespace) -> int:
+    from repro import check
+
+    if args.verb == "explore":
+        report = check.explore(
+            args.protocol,
+            nodes=args.nodes,
+            lines=args.lines,
+            races=not args.no_races,
+            max_depth=args.max_depth,
+            max_states=args.max_states,
+        )
+        print(report.summary())
+        if report.ok:
+            return 0
+        counterexample = report.counterexample
+        if args.counterexample:
+            counterexample.write_json(args.counterexample)
+            print(
+                f"counterexample -> {args.counterexample}",
+                file=sys.stderr,
+            )
+        if args.emit_trace:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
+            try:
+                counterexample.replay(tracer=tracer)
+            except Exception:
+                pass  # the replay fails by construction
+            tracer.write_jsonl(args.emit_trace)
+            print(
+                f"failure trace: {tracer.emitted} events -> "
+                f"{args.emit_trace}",
+                file=sys.stderr,
+            )
+        return 1
+
+    report = check.fuzz(
+        args.protocol,
+        nodes=args.nodes,
+        lines=args.lines,
+        steps=args.steps,
+        seed=args.seed,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 _HANDLERS = {
     "simulate": _command_simulate,
     "sweep": _command_sweep,
@@ -457,6 +609,7 @@ _HANDLERS = {
     "validate": _command_validate,
     "snooprate": _command_snooprate,
     "benchmarks": _command_benchmarks,
+    "check": _command_check,
 }
 
 

@@ -71,6 +71,8 @@ def run_simulation(
     traces: Optional[List] = None,
     warmup_refs: int = 0,
     tracer=None,
+    monitor=None,
+    check_invariants: bool = False,
 ) -> SimulationResult:
     """Run one trace-driven simulation to completion.
 
@@ -97,7 +99,21 @@ def run_simulation(
     protocol engines for the whole run, warm-up included.  Leaving it
     ``None`` (the default) keeps every hook on its no-op path, so
     traced and untraced runs produce bit-identical results.
+
+    ``monitor`` attaches a runtime coherence checker (any object with
+    the ``on_commit(engine, node, address, action)`` hook, normally
+    :class:`repro.check.InvariantMonitor`) through the same duck-typed
+    kernel attribute as the tracer; ``check_invariants=True`` is the
+    convenience form that builds one.  The monitor observes every
+    coherence commit for the whole run and a strict whole-system check
+    runs once the event heap drains; the first violation aborts the
+    simulation with the failing node, address and action.  Like the
+    tracer, a ``None`` monitor costs one attribute load per commit.
     """
+    if check_invariants and monitor is None:
+        from repro.check.monitor import InvariantMonitor
+
+        monitor = InvariantMonitor()
     if isinstance(benchmark, str):
         processors = num_processors or (config.num_processors if config else 16)
         spec = benchmark_spec(benchmark, processors)
@@ -117,6 +133,7 @@ def run_simulation(
 
     sim = Simulator()
     sim.tracer = tracer
+    sim.monitor = monitor
     engine = build_engine(sim, config)
     if traces is None:
         generator = SyntheticTraceGenerator(
@@ -163,6 +180,9 @@ def run_simulation(
     for processor in processors:
         sim.spawn(processor.run(), name=f"cpu{processor.node}")
     sim.run()
+    finalize = getattr(monitor, "finalize", None)
+    if finalize is not None:
+        finalize(engine)
 
     return _collect(
         spec, config, engine, processors, sim, window_start, histograms
@@ -315,6 +335,7 @@ def run_simulation_cached(
     protocol: Protocol,
     data_refs: int = DEFAULT_DATA_REFS,
     config: Optional[SystemConfig] = None,
+    check_invariants: bool = False,
 ) -> SimulationResult:
     """Cached :func:`run_simulation` (keyed by the full setup).
 
@@ -330,10 +351,27 @@ def run_simulation_cached(
     simulation per configuration to drive many model curves; the disk
     layer extends that reuse to repeated harness invocations and to
     parallel sweep workers.
+
+    ``check_invariants`` bypasses both cache layers: checking only
+    happens while the simulation actually executes, so serving a
+    checked request from a cached (unchecked) result would silently
+    skip the verification the caller asked for.  The checked result is
+    still published to both layers for later unchecked reuse.
     """
     from repro.core.store import get_result_store
 
     base = _normalised_config(benchmark, num_processors, protocol, config)
+    if check_invariants:
+        result = run_simulation(
+            benchmark,
+            config=base,
+            data_refs=data_refs,
+            num_processors=num_processors,
+            check_invariants=True,
+        )
+        _CACHE[_memo_key(benchmark, data_refs, base)] = result
+        get_result_store().put(benchmark, data_refs, base, result)
+        return result
     key = _memo_key(benchmark, data_refs, base)
     result = _CACHE.get(key)
     if result is not None:

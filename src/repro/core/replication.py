@@ -108,6 +108,7 @@ def replicate(
     data_refs: int = DEFAULT_DATA_REFS,
     config: Optional[SystemConfig] = None,
     jobs: int = 1,
+    check_invariants: bool = False,
 ) -> ReplicationReport:
     """Run one configuration under several seeds and summarise.
 
@@ -117,7 +118,13 @@ def replicate(
     fans them out across worker processes (per-seed results are
     identical to the serial path: each run is seeded explicitly and
     deterministic).
+
+    ``check_invariants`` attaches the runtime coherence monitor to
+    every replication (serial path only -- the worker-process protocol
+    does not carry the monitor, so it forces ``jobs=1``).
     """
+    if check_invariants:
+        jobs = 1
     if not seeds:
         raise ValueError("need at least one seed")
     base = config or SystemConfig(
@@ -149,6 +156,7 @@ def replicate(
                 config=replace(base, seed=seed),
                 data_refs=data_refs,
                 num_processors=num_processors,
+                check_invariants=check_invariants,
             )
             for seed in seeds
         ]

@@ -16,7 +16,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.memory.states import CacheState
+from repro.memory.states import CacheState, assert_transition
 
 __all__ = ["AccessOutcome", "CacheLine", "DirectMappedCache", "CacheStats"]
 
@@ -172,7 +172,16 @@ class DirectMappedCache:
         if state is CacheState.INV:
             raise ValueError("cannot fill a line to INV")
         victim = self.victim_for(address)
+        if victim is not None:
+            assert_transition("evict", victim[1], CacheState.INV)
         index, tag = self._index_and_tag(address)
+        line = self._lines.get(index)
+        before = (
+            line.state
+            if line is not None and line.tag == tag
+            else CacheState.INV
+        )
+        assert_transition("fill", before, state)
         self._lines[index] = CacheLine(tag=tag, state=state)
         if victim is not None and victim[1] is CacheState.WE:
             self.stats.writebacks += 1
@@ -187,6 +196,7 @@ class DirectMappedCache:
                 f"upgrade of address {address:#x} not in RS "
                 f"(found {self.state_of(address).name})"
             )
+        assert_transition("upgrade", line.state, CacheState.WE)
         line.state = CacheState.WE
 
     # ------------------------------------------------------------------
@@ -199,6 +209,7 @@ class DirectMappedCache:
         if line is None or line.tag != tag:
             return CacheState.INV
         prior = line.state
+        assert_transition("invalidate", prior, CacheState.INV)
         del self._lines[index]
         self.stats.invalidations_received += 1
         return prior
@@ -211,6 +222,7 @@ class DirectMappedCache:
             return CacheState.INV
         prior = line.state
         if prior is CacheState.WE:
+            assert_transition("downgrade", prior, CacheState.RS)
             line.state = CacheState.RS
             self.stats.downgrades_received += 1
         return prior
@@ -222,6 +234,7 @@ class DirectMappedCache:
         if line is None or line.tag != tag:
             return CacheState.INV
         prior = line.state
+        assert_transition("evict", prior, CacheState.INV)
         del self._lines[index]
         return prior
 

@@ -133,6 +133,18 @@ class RingSystemBase:
         """
         raise NotImplementedError
 
+    def coherence_view(self, block: int) -> tuple:
+        """Canonical, hashable ownership metadata for ``block``.
+
+        The first element tags the directory organisation
+        (``"dirty-bit"``, ``"full-map"`` or ``"list"``); the rest is
+        that organisation's state in a deterministic order.  The
+        ``repro.check`` subsystem uses this both to canonicalize
+        abstract system states and to check directory--cache agreement;
+        it must be cheap and strictly read-only.
+        """
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     # Message primitives (run inline in the transaction's process)
     # ------------------------------------------------------------------
@@ -371,6 +383,9 @@ class RingSystemBase:
                 address,
                 outcome.name,
             )
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_commit(self, node, address, outcome.name)
         return self.sim.now - start_ps
 
     def _reresolve(

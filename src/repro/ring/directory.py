@@ -65,6 +65,12 @@ class DirectoryRingSystem(RingSystemBase):
         )
         return entry is not None and entry.dirty and entry.owner == node
 
+    def coherence_view(self, block: int) -> tuple:
+        entry = self.directory_for(block * self.config.block_size).peek(block)
+        if entry is None:
+            return ("full-map", False, ())
+        return ("full-map", entry.dirty, tuple(sorted(entry.sharers)))
+
     # ------------------------------------------------------------------
     # Transaction body
     # ------------------------------------------------------------------
@@ -355,6 +361,9 @@ class DirectoryRingSystem(RingSystemBase):
             self.stats.writebacks += 1
         finally:
             lock.release()
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_commit(self, node, address, "WRITEBACK")
 
     def _sharing_writeback(self, owner: int, block: int) -> Step:
         """Memory refresh after a dirty block was downgraded (traffic

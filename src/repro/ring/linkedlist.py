@@ -63,6 +63,12 @@ class LinkedListRingSystem(RingSystemBase):
         )
         return entry is not None and entry.dirty and entry.head == node
 
+    def coherence_view(self, block: int) -> tuple:
+        entry = self.directory_for(block * self.config.block_size).peek(block)
+        if entry is None:
+            return ("list", False, ())
+        return ("list", entry.dirty, tuple(entry.chain))
+
     # ------------------------------------------------------------------
     # Transaction body
     # ------------------------------------------------------------------
@@ -311,6 +317,9 @@ class LinkedListRingSystem(RingSystemBase):
             self.stats.writebacks += 1
         finally:
             lock.release()
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_commit(self, node, address, "WRITEBACK")
 
     def _sharing_writeback(self, owner: int, block: int) -> Step:
         address = block * self.config.block_size

@@ -5,15 +5,31 @@ section 2): short **probes** (miss and invalidation requests) and
 **block messages** (header + cache block, for miss replies and
 write-backs).  These records exist for protocol clarity and for the
 traffic statistics; the slot scheduler only cares about occupancy.
+
+Messages are value types: equal by field, hashable, and **totally
+ordered** by a stable canonical key (message class, kind, address,
+src, dst).  The ordering is what makes a *set* of in-flight messages
+canonicalizable -- the ``repro.check`` model checker folds the pending
+message set into its abstract system state, and identity-based or
+insertion-ordered comparison would make state deduplication
+nondeterministic across runs.  Use :func:`canonical_order` to sort a
+mixed collection of probes and block messages.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, List, Optional, Tuple, Union
 
-__all__ = ["ProbeKind", "BlockKind", "Probe", "BlockMessage"]
+__all__ = [
+    "ProbeKind",
+    "BlockKind",
+    "Probe",
+    "BlockMessage",
+    "Message",
+    "canonical_order",
+]
 
 
 class ProbeKind(enum.Enum):
@@ -44,6 +60,13 @@ class BlockKind(enum.Enum):
     SHARING_WRITEBACK = "sharing-writeback"
 
 
+#: Stable ranks for the canonical ordering -- definition order of the
+#: enum members, frozen here so reordering a member list is an explicit
+#: (and test-visible) format change.
+_PROBE_RANK = {kind: rank for rank, kind in enumerate(ProbeKind)}
+_BLOCK_RANK = {kind: rank for rank, kind in enumerate(BlockKind)}
+
+
 @dataclass(frozen=True)
 class Probe:
     """A short request message.
@@ -62,6 +85,36 @@ class Probe:
     def is_broadcast(self) -> bool:
         return self.dst is None
 
+    def sort_key(self) -> Tuple[int, int, int, int, int]:
+        """Canonical ordering key; broadcasts (dst None) sort first."""
+        return (
+            0,  # probes order before block messages
+            _PROBE_RANK[self.kind],
+            self.address,
+            self.src,
+            -1 if self.dst is None else self.dst,
+        )
+
+    def __lt__(self, other: "Message") -> bool:
+        if not isinstance(other, (Probe, BlockMessage)):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Message") -> bool:
+        if not isinstance(other, (Probe, BlockMessage)):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Message") -> bool:
+        if not isinstance(other, (Probe, BlockMessage)):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Message") -> bool:
+        if not isinstance(other, (Probe, BlockMessage)):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
+
 
 @dataclass(frozen=True)
 class BlockMessage:
@@ -71,3 +124,40 @@ class BlockMessage:
     address: int
     src: int
     dst: int
+
+    def sort_key(self) -> Tuple[int, int, int, int, int]:
+        """Canonical ordering key (block messages after probes)."""
+        return (1, _BLOCK_RANK[self.kind], self.address, self.src, self.dst)
+
+    def __lt__(self, other: "Message") -> bool:
+        if not isinstance(other, (Probe, BlockMessage)):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Message") -> bool:
+        if not isinstance(other, (Probe, BlockMessage)):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Message") -> bool:
+        if not isinstance(other, (Probe, BlockMessage)):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Message") -> bool:
+        if not isinstance(other, (Probe, BlockMessage)):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
+
+
+#: Either message record (a union alias for annotations).
+Message = Union[Probe, BlockMessage]
+
+
+def canonical_order(messages: Iterable[Message]) -> List[Message]:
+    """Sort a mixed collection of messages by the canonical key.
+
+    Deterministic for any input ordering (sets included), so two runs
+    that leave the same messages in flight serialize identically.
+    """
+    return sorted(messages, key=lambda message: message.sort_key())

@@ -50,6 +50,10 @@ class SnoopingRingSystem(RingSystemBase):
             and self._dirty_node.get(block) == node
         )
 
+    def coherence_view(self, block: int) -> tuple:
+        dirty = self.dirty_bits.is_dirty(block)
+        return ("dirty-bit", dirty, self._dirty_node.get(block) if dirty else None)
+
     # ------------------------------------------------------------------
     # Transaction body
     # ------------------------------------------------------------------
@@ -302,6 +306,9 @@ class SnoopingRingSystem(RingSystemBase):
             self.stats.writebacks += 1
         finally:
             lock.release()
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_commit(self, node, address, "WRITEBACK")
 
     def _sharing_writeback(self, owner: int, block: int) -> Step:
         """Memory update after a dirty block was downgraded to shared.

@@ -167,6 +167,12 @@ class Simulator:
         #: disabled and cannot alter event ordering when enabled.
         self.tracer: Optional[Any] = None
         self.histograms: Optional[Any] = None
+        #: Optional runtime coherence checker (see ``repro.check``).
+        #: Same duck-typed contract as the telemetry sinks: protocol
+        #: engines call ``monitor.on_commit(engine, node, address,
+        #: action)`` after each coherence-action commit when attached;
+        #: ``None`` (the default) keeps every hook on its no-op path.
+        self.monitor: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Construction helpers

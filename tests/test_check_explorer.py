@@ -1,0 +1,235 @@
+"""The exhaustive explorer: clean protocols pass, seeded bugs fail.
+
+Mutation testing is the checker's own acceptance test: we copy an
+engine, inject a classic coherence bug (a dropped invalidation -- the
+canonical lost-coherence failure in snoopy protocols), and require the
+explorer to find it with a short, minimal, replayable counterexample.
+A checker that passes clean protocols but cannot find a seeded bug is
+vacuous.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check import EngineHarness, InvariantViolation, explore
+from repro.check.explorer import COUNTEREXAMPLE_SCHEMA, step_alphabet
+from repro.check.state import Ref, StepSpec
+from repro.ring.directory import DirectoryRingSystem
+from repro.ring.snooping import SnoopingRingSystem
+
+PROTOCOLS = ("snooping", "directory", "linkedlist")
+
+
+# ----------------------------------------------------------------------
+# Clean protocols: exhaustive pass at the acceptance configuration
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_explore_two_nodes_one_line_is_clean_and_exhaustive(protocol):
+    report = explore(protocol, nodes=2, lines=1)
+    assert report.ok, report.summary()
+    assert report.complete, "2n/1l must be exhausted, not truncated"
+    assert report.states >= 5
+    assert report.steps_applied >= report.states
+
+
+def test_explore_bus_is_clean():
+    report = explore("bus", nodes=2, lines=1)
+    assert report.ok and report.complete, report.summary()
+
+
+def test_explore_without_races_is_clean():
+    report = explore("snooping", nodes=2, lines=1, races=False)
+    assert report.ok and report.complete, report.summary()
+    assert report.alphabet_size == 4  # 2 nodes x 1 line x {R, W}
+
+
+def test_step_alphabet_shape():
+    singles = [s for s in step_alphabet(2, 1) if not s.is_race]
+    races = [s for s in step_alphabet(2, 1) if s.is_race]
+    assert len(singles) == 4
+    # Races pair refs at distinct nodes only.
+    assert len(races) == 4
+    assert all(
+        step.refs[0].node != step.refs[1].node for step in races
+    )
+
+
+def test_explore_rejects_unknown_protocol():
+    with pytest.raises(ValueError):
+        explore("token-ring", nodes=2, lines=1)
+
+
+# ----------------------------------------------------------------------
+# Mutants
+# ----------------------------------------------------------------------
+class DroppedInvalidationSnooping(SnoopingRingSystem):
+    """Bug: the write probe's invalidation snoop is silently lost."""
+
+    def schedule_invalidate(self, node, address, at_cycle):
+        pass
+
+
+class DroppedInvalidationDirectory(DirectoryRingSystem):
+    """Bug: the home multicasts but sharers never invalidate."""
+
+    def schedule_invalidate(self, node, address, at_cycle):
+        pass
+
+
+def mutant_harness(engine_type):
+    """An EngineHarness whose engine is replaced by a mutant copy.
+
+    The mutant adopts the original engine's entire state (caches,
+    schedulers, directories), so only the overridden method differs.
+    """
+
+    class MutantHarness(EngineHarness):
+        def __init__(self, protocol, nodes, lines):
+            super().__init__(protocol, nodes, lines)
+            mutant = object.__new__(engine_type)
+            mutant.__dict__ = self.engine.__dict__
+            self.engine = mutant
+
+    return MutantHarness
+
+
+def test_explorer_catches_dropped_invalidation_in_snooping():
+    report = explore(
+        "snooping",
+        nodes=2,
+        lines=1,
+        harness_factory=mutant_harness(DroppedInvalidationSnooping),
+    )
+    assert not report.ok, "seeded bug missed"
+    counterexample = report.counterexample
+    assert counterexample.depth <= 20
+    assert counterexample.kind in {"swmr", "freshness", "agreement"}
+    # BFS minimality: some step involves a write (the bug needs one).
+    assert any(
+        ref.is_write
+        for step in counterexample.script
+        for ref in step.refs
+    )
+
+
+def test_explorer_catches_dropped_invalidation_in_directory():
+    report = explore(
+        "directory",
+        nodes=2,
+        lines=1,
+        harness_factory=mutant_harness(DroppedInvalidationDirectory),
+    )
+    assert not report.ok, "seeded bug missed"
+    assert report.counterexample.depth <= 20
+
+
+def test_sequential_steps_alone_catch_the_snooping_mutant():
+    # Even without race steps the bug surfaces: W(a) then W(b) leaves
+    # a's stale copy alive, and the next reference exposes it.
+    report = explore(
+        "snooping",
+        nodes=2,
+        lines=1,
+        races=False,
+        harness_factory=mutant_harness(DroppedInvalidationSnooping),
+    )
+    assert not report.ok
+    assert report.counterexample.depth <= 20
+
+
+# ----------------------------------------------------------------------
+# Counterexamples: replay and golden format
+# ----------------------------------------------------------------------
+def failing_report():
+    report = explore(
+        "snooping",
+        nodes=2,
+        lines=1,
+        harness_factory=mutant_harness(DroppedInvalidationSnooping),
+    )
+    assert not report.ok
+    return report
+
+
+def test_counterexample_replays_deterministically():
+    counterexample = failing_report().counterexample
+    # On the mutant, the script reproduces the violation every time.
+    mutant = mutant_harness(DroppedInvalidationSnooping)
+    for _ in range(2):
+        harness = mutant(
+            counterexample.protocol,
+            counterexample.nodes,
+            counterexample.lines,
+        )
+        with pytest.raises(InvariantViolation):
+            for step in counterexample.script:
+                harness.apply(step)
+            harness.check(strict=True)
+
+
+def test_counterexample_script_passes_on_the_clean_engine():
+    counterexample = failing_report().counterexample
+    harness = counterexample.replay()  # clean EngineHarness
+    harness.check(strict=True)  # the bug is in the mutant, not here
+
+
+def test_counterexample_golden_format(tmp_path):
+    counterexample = failing_report().counterexample
+    payload = counterexample.as_dict()
+    assert payload["schema"] == COUNTEREXAMPLE_SCHEMA
+    assert set(payload) == {
+        "schema",
+        "protocol",
+        "nodes",
+        "lines",
+        "violation",
+        "depth",
+        "script",
+    }
+    assert payload["protocol"] == "snooping"
+    assert payload["nodes"] == 2 and payload["lines"] == 1
+    assert set(payload["violation"]) == {"kind", "message"}
+    assert payload["depth"] == len(payload["script"])
+    for index, step in enumerate(payload["script"]):
+        assert set(step) == {"step", "label", "refs"}
+        assert step["step"] == index
+        for ref in step["refs"]:
+            assert set(ref) == {"node", "line", "op"}
+            assert ref["op"] in {"read", "write"}
+
+    path = tmp_path / "counterexample.json"
+    counterexample.write_json(str(path))
+    assert json.loads(path.read_text()) == payload
+    # Serialisation is stable: a second write is byte-identical.
+    first = path.read_text()
+    counterexample.write_json(str(path))
+    assert path.read_text() == first
+
+
+def test_counterexample_describe_mentions_the_violation():
+    counterexample = failing_report().counterexample
+    text = counterexample.describe()
+    assert counterexample.kind in text
+    assert "snooping" in text
+
+
+# ----------------------------------------------------------------------
+# Step/Ref value semantics used by the visited set
+# ----------------------------------------------------------------------
+def test_refs_and_steps_are_hashable_values():
+    a = Ref(0, 0, True)
+    assert a == Ref(0, 0, True)
+    assert len({a, Ref(0, 0, True)}) == 1
+    step = StepSpec((a, Ref(1, 0, False)))
+    assert step.is_race
+    assert step == StepSpec((a, Ref(1, 0, False)))
+
+
+def test_step_spec_rejects_empty_and_oversized():
+    with pytest.raises(ValueError):
+        StepSpec(())
+    with pytest.raises(ValueError):
+        StepSpec((Ref(0, 0, False),) * 3)

@@ -106,3 +106,63 @@ def test_parser_requires_command():
 def test_unknown_benchmark_errors(capsys):
     with pytest.raises(KeyError):
         main(["simulate", "nonexistent", "-p", "4", "-r", "100"])
+
+
+def test_check_explore_all_protocols(capsys):
+    for protocol in ("snooping", "directory", "linkedlist"):
+        code, out = run_cli(
+            capsys,
+            "check",
+            "explore",
+            "--protocol",
+            protocol,
+            "--nodes",
+            "2",
+            "--lines",
+            "1",
+        )
+        assert code == 0
+        assert "0 violations" in out
+        assert "exhaustive" in out
+
+
+def test_check_fuzz_smoke(capsys):
+    code, out = run_cli(
+        capsys,
+        "check",
+        "fuzz",
+        "--protocol",
+        "snooping",
+        "--nodes",
+        "4",
+        "--lines",
+        "8",
+        "--steps",
+        "300",
+        "--seed",
+        "9",
+    )
+    assert code == 0
+    assert "0 violations" in out
+    assert "seed 9" in out
+
+
+def test_check_requires_a_verb():
+    with pytest.raises(SystemExit):
+        main(["check"])
+
+
+def test_simulate_with_invariant_checking(capsys):
+    code, out = run_cli(
+        capsys,
+        "simulate",
+        "mp3d",
+        "-p",
+        "4",
+        "-r",
+        "800",
+        "--check-invariants",
+        "--no-cache",
+    )
+    assert code == 0
+    assert "processor utilization" in out

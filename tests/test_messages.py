@@ -1,6 +1,14 @@
 """Tests for the ring message records."""
 
-from repro.ring.messages import BlockKind, BlockMessage, Probe, ProbeKind
+import pytest
+
+from repro.ring.messages import (
+    BlockKind,
+    BlockMessage,
+    Probe,
+    ProbeKind,
+    canonical_order,
+)
 
 
 def test_probe_broadcast_when_no_destination():
@@ -41,8 +49,68 @@ def test_block_message_fields():
 
 
 def test_messages_are_immutable():
-    import pytest
-
     probe = Probe(kind=ProbeKind.ACK, address=0, src=0)
     with pytest.raises(AttributeError):
         probe.src = 1
+
+
+# ----------------------------------------------------------------------
+# Value semantics: hashing, equality, canonical total order
+# ----------------------------------------------------------------------
+def test_messages_are_hashable_value_types():
+    a = Probe(kind=ProbeKind.READ_MISS, address=0x40, src=1)
+    b = Probe(kind=ProbeKind.READ_MISS, address=0x40, src=1)
+    assert a == b and hash(a) == hash(b)
+    assert len({a, b}) == 1
+    block = BlockMessage(kind=BlockKind.MISS_REPLY, address=0x40, src=1, dst=2)
+    assert len({block, block}) == 1
+
+
+def test_probes_order_before_block_messages():
+    probe = Probe(kind=ProbeKind.ACK, address=0xFFFF, src=9, dst=9)
+    block = BlockMessage(kind=BlockKind.MISS_REPLY, address=0x0, src=0, dst=0)
+    assert probe < block and block > probe
+
+
+def test_broadcast_probes_order_before_unicast_peers():
+    broadcast = Probe(kind=ProbeKind.READ_MISS, address=0x40, src=1)
+    unicast = Probe(kind=ProbeKind.READ_MISS, address=0x40, src=1, dst=0)
+    assert broadcast < unicast
+
+
+def test_ordering_is_total_and_consistent():
+    messages = [
+        BlockMessage(kind=BlockKind.WRITE_BACK, address=0x80, src=3, dst=0),
+        Probe(kind=ProbeKind.INVALIDATION, address=0x40, src=2, dst=5),
+        Probe(kind=ProbeKind.READ_MISS, address=0x80, src=0),
+        BlockMessage(kind=BlockKind.MISS_REPLY, address=0x40, src=1, dst=2),
+        Probe(kind=ProbeKind.READ_MISS, address=0x40, src=0),
+    ]
+    ranked = sorted(messages)
+    for earlier, later in zip(ranked, ranked[1:]):
+        assert earlier < later or earlier.sort_key() == later.sort_key()
+        assert earlier <= later and later >= earlier
+
+
+def test_canonical_order_is_input_order_independent():
+    from itertools import permutations
+
+    messages = [
+        Probe(kind=ProbeKind.WRITE_MISS, address=0x40, src=2),
+        Probe(kind=ProbeKind.READ_MISS, address=0x40, src=1),
+        BlockMessage(kind=BlockKind.MISS_REPLY, address=0x40, src=0, dst=1),
+    ]
+    expected = canonical_order(messages)
+    for ordering in permutations(messages):
+        assert canonical_order(ordering) == expected
+    # Sets too: hash order never leaks into the serialization.
+    assert canonical_order(set(messages)) == expected
+
+
+def test_comparison_with_foreign_types_is_rejected():
+    probe = Probe(kind=ProbeKind.ACK, address=0, src=0)
+    with pytest.raises(TypeError):
+        probe < 42  # noqa: B015
+    block = BlockMessage(kind=BlockKind.MISS_REPLY, address=0, src=0, dst=1)
+    with pytest.raises(TypeError):
+        block >= "x"  # noqa: B015

@@ -202,8 +202,12 @@ def test_chrome_trace_roundtrips_and_orders_timestamps(tmp_path):
 
 
 # ----------------------------------------------------------------------
-# Hot-path modules never import repro.obs at module level
+# Hot-path modules never import an observer package at module level
+# (repro.obs = tracing/histograms, repro.check = invariant monitor);
+# both attach through duck-typed kernel attributes instead.
 # ----------------------------------------------------------------------
+OBSERVER_PACKAGES = ("repro.obs", "repro.check")
+
 HOT_PATH_MODULES = (
     "sim/kernel.py",
     "sim/queues.py",
@@ -222,15 +226,16 @@ HOT_PATH_MODULES = (
 
 
 @pytest.mark.parametrize("relative", HOT_PATH_MODULES)
-def test_hot_path_modules_do_not_import_obs(relative):
+@pytest.mark.parametrize("package", OBSERVER_PACKAGES)
+def test_hot_path_modules_do_not_import_observers(relative, package):
     root = pathlib.Path(repro.__file__).parent
     tree = ast.parse((root / relative).read_text())
     for node in tree.body:  # module level only: inline imports are fine
         if isinstance(node, ast.Import):
             assert not any(
-                alias.name.startswith("repro.obs") for alias in node.names
-            ), f"{relative} imports repro.obs at module level"
+                alias.name.startswith(package) for alias in node.names
+            ), f"{relative} imports {package} at module level"
         elif isinstance(node, ast.ImportFrom):
             assert not (node.module or "").startswith(
-                "repro.obs"
-            ), f"{relative} imports repro.obs at module level"
+                package
+            ), f"{relative} imports {package} at module level"

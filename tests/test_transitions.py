@@ -1,0 +1,128 @@
+"""The legal-state-transition table and its cache-layer enforcement.
+
+``repro.memory.states`` owns the single source of truth for which
+(action, before, after) cache-state transitions the three-state
+protocol permits; every mutator in ``DirectMappedCache`` routes
+through :func:`assert_transition`, so an engine bug that commits an
+illegal transition fails loudly at the cache instead of corrupting
+state silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.cache import DirectMappedCache
+from repro.memory.states import (
+    ALLOWED_TRANSITIONS,
+    LEGAL_STATE_PAIRS,
+    CacheState,
+    IllegalTransition,
+    assert_transition,
+)
+
+INV, RS, WE = CacheState.INV, CacheState.RS, CacheState.WE
+
+
+# ----------------------------------------------------------------------
+# The table itself
+# ----------------------------------------------------------------------
+def test_table_covers_exactly_the_protocol_actions():
+    assert set(ALLOWED_TRANSITIONS) == {
+        "fill",
+        "upgrade",
+        "invalidate",
+        "downgrade",
+        "evict",
+    }
+
+
+def test_table_contents_are_the_three_state_protocol():
+    assert ALLOWED_TRANSITIONS["fill"] == {(INV, RS), (INV, WE), (RS, RS)}
+    assert ALLOWED_TRANSITIONS["upgrade"] == {(RS, WE)}
+    assert ALLOWED_TRANSITIONS["invalidate"] == {(RS, INV), (WE, INV)}
+    assert ALLOWED_TRANSITIONS["downgrade"] == {(WE, RS)}
+    assert ALLOWED_TRANSITIONS["evict"] == {(RS, INV), (WE, INV)}
+
+
+def test_legal_state_pairs_is_the_union():
+    assert LEGAL_STATE_PAIRS == frozenset(
+        pair
+        for pairs in ALLOWED_TRANSITIONS.values()
+        for pair in pairs
+    )
+
+
+def test_assert_transition_accepts_every_table_entry():
+    for action, pairs in ALLOWED_TRANSITIONS.items():
+        for before, after in pairs:
+            assert_transition(action, before, after)  # must not raise
+
+
+@pytest.mark.parametrize(
+    "action,before,after",
+    [
+        ("fill", WE, RS),  # a fill never demotes
+        ("upgrade", INV, WE),  # upgrade needs an RS copy
+        ("upgrade", WE, WE),  # already exclusive: not an upgrade
+        ("invalidate", INV, INV),  # nothing to invalidate
+        ("downgrade", RS, RS),  # only WE downgrades
+        ("evict", INV, INV),  # nothing to evict
+    ],
+)
+def test_assert_transition_rejects_illegal_pairs(action, before, after):
+    with pytest.raises(IllegalTransition):
+        assert_transition(action, before, after)
+
+
+def test_assert_transition_rejects_unknown_action():
+    with pytest.raises(IllegalTransition):
+        assert_transition("teleport", INV, WE)
+
+
+def test_illegal_transition_is_a_value_error():
+    assert issubclass(IllegalTransition, ValueError)
+
+
+# ----------------------------------------------------------------------
+# Cache-layer enforcement
+# ----------------------------------------------------------------------
+def fresh_cache() -> DirectMappedCache:
+    return DirectMappedCache(size_bytes=256, block_size=16)
+
+
+def test_cache_fill_and_upgrade_follow_the_table():
+    cache = fresh_cache()
+    cache.fill(0x100, RS)
+    assert cache.state_of(0x100) is RS
+    cache.apply_upgrade(0x100)
+    assert cache.state_of(0x100) is WE
+
+
+def test_cache_refill_of_shared_copy_is_legal():
+    # Concurrent shared-mode readers may re-fill an RS line (RS -> RS).
+    cache = fresh_cache()
+    cache.fill(0x100, RS)
+    cache.fill(0x100, RS)
+    assert cache.state_of(0x100) is RS
+
+
+def test_cache_rejects_upgrade_without_shared_copy():
+    cache = fresh_cache()
+    with pytest.raises(ValueError):  # no line at all
+        cache.apply_upgrade(0x100)
+    cache.fill(0x100, WE)
+    with pytest.raises(ValueError):  # WE -> WE is not an upgrade
+        cache.apply_upgrade(0x100)
+
+
+def test_cache_snoops_follow_the_table():
+    cache = fresh_cache()
+    cache.fill(0x100, WE)
+    assert cache.snoop_downgrade(0x100) is WE
+    assert cache.state_of(0x100) is RS
+    assert cache.snoop_invalidate(0x100) is RS
+    assert cache.state_of(0x100) is INV
+    # Absent lines are no-ops, not violations (probe races are normal).
+    assert cache.snoop_invalidate(0x100) is INV
+    assert cache.snoop_downgrade(0x100) is INV
