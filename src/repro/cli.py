@@ -190,6 +190,52 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("snooprate", help="print Table 3 (snooping rate)")
     commands.add_parser("benchmarks", help="list workload configurations")
 
+    bench = commands.add_parser(
+        "bench",
+        help="perf microbenchmarks (kernel + model hot paths)",
+        description=(
+            "Time the simulation-kernel and analytical-model workloads "
+            "and report deterministic work counters.  --check compares "
+            "the counters against the committed BENCH_<suite>.json "
+            "baselines and fails on regression; --baseline rewrites "
+            "them.  See docs/PERFORMANCE.md."
+        ),
+    )
+    bench.add_argument(
+        "--suite",
+        choices=["all", "kernel", "models"],
+        default="all",
+        help="which suite to run (default all)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized workloads (the committed baselines are quick-mode)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 2) on >tolerance regression vs the baselines",
+    )
+    bench.add_argument(
+        "--baseline",
+        action="store_true",
+        help="write BENCH_<suite>.json baselines instead of checking",
+    )
+    bench.add_argument(
+        "--baseline-dir",
+        default=".",
+        metavar="DIR",
+        help="where baselines live (default: current directory)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="override the gate tolerance (default 0.20)",
+    )
+
     check = commands.add_parser(
         "check",
         help="coherence model checker (exhaustive / randomized)",
@@ -552,6 +598,49 @@ def _command_benchmarks(_: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.perf import bench as perf_bench
+
+    suites = (
+        perf_bench.suite_names() if args.suite == "all" else [args.suite]
+    )
+    tolerance = (
+        args.tolerance
+        if args.tolerance is not None
+        else perf_bench.DEFAULT_TOLERANCE
+    )
+    problems = []
+    for suite in suites:
+        report = perf_bench.run_suite(suite, quick=args.quick)
+        print(report.render())
+        if args.baseline:
+            path = perf_bench.write_baseline(report, args.baseline_dir)
+            print(f"  baseline -> {path}")
+        elif args.check:
+            baseline = perf_bench.load_baseline(suite, args.baseline_dir)
+            if baseline is None:
+                problems.append(
+                    f"{suite}: no baseline at "
+                    f"{perf_bench.baseline_path(suite, args.baseline_dir)} "
+                    "(generate one with 'repro bench --quick --baseline')"
+                )
+                continue
+            problems.extend(
+                f"{suite}: {problem}"
+                for problem in perf_bench.check_against_baseline(
+                    report, baseline, tolerance=tolerance
+                )
+            )
+    if args.check and not args.baseline:
+        if problems:
+            print("perf regression check FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 2
+        print(f"perf regression check passed ({', '.join(suites)})")
+    return 0
+
+
 def _command_check(args: argparse.Namespace) -> int:
     from repro import check
 
@@ -609,6 +698,7 @@ _HANDLERS = {
     "validate": _command_validate,
     "snooprate": _command_snooprate,
     "benchmarks": _command_benchmarks,
+    "bench": _command_bench,
     "check": _command_check,
 }
 

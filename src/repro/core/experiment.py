@@ -39,6 +39,7 @@ __all__ = [
     "run_simulation_cached",
     "prime_simulation_cache",
     "cache_counters",
+    "last_kernel_counters",
     "clear_simulation_cache",
     "DEFAULT_DATA_REFS",
 ]
@@ -184,6 +185,12 @@ def run_simulation(
     if finalize is not None:
         finalize(engine)
 
+    _LAST_KERNEL.clear()
+    _LAST_KERNEL.update(
+        events_processed=sim.events_processed,
+        relay_hops=sim.relay_hops,
+        cancelled_wakes=sim.cancelled_wakes,
+    )
     return _collect(
         spec, config, engine, processors, sim, window_start, histograms
     )
@@ -413,6 +420,25 @@ def prime_simulation_cache(
 def cache_counters() -> Dict[str, int]:
     """Snapshot of lookup counters: memo_hits / disk_hits / misses."""
     return dict(_COUNTERS)
+
+
+#: Kernel-level event counters from the most recent (uncached)
+#: :func:`run_simulation` in this process; see
+#: :func:`last_kernel_counters`.
+_LAST_KERNEL: Dict[str, int] = {}
+
+
+def last_kernel_counters() -> Dict[str, int]:
+    """Event-kernel counters of the last :func:`run_simulation` run.
+
+    ``events_processed`` / ``relay_hops`` / ``cancelled_wakes`` from
+    the simulator that executed the most recent simulation in this
+    process (empty before any run; unchanged by cache hits).  They are
+    exact and machine-independent, which makes them the quantities the
+    perf-regression harness (:mod:`repro.perf`) gates on -- wall-clock
+    comparisons across CI machines are noise.
+    """
+    return dict(_LAST_KERNEL)
 
 
 def clear_simulation_cache(disk: bool = True) -> None:

@@ -49,9 +49,32 @@ __all__ = [
     "SweepPoint",
     "PointOutcome",
     "SweepReport",
+    "SweepPointError",
     "derive_seed",
     "execute_points",
 ]
+
+
+class SweepPointError(RuntimeError):
+    """A sweep point failed; carries which one and why.
+
+    A bare exception escaping a pool worker loses the one thing needed
+    to reproduce the failure: which configuration (and seed) was being
+    simulated.  The executor wraps worker exceptions in this type so
+    the failing point travels with the traceback, and the original
+    exception remains available as ``__cause__``.
+    """
+
+    def __init__(self, index: int, point: SweepPoint, cause: BaseException):
+        config = point.resolved_config()
+        super().__init__(
+            f"sweep point [{index}] failed: {point.benchmark}"
+            f"@{point.num_processors}p {point.protocol.value} "
+            f"(data_refs={point.data_refs}, seed={config.seed}): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.index = index
+        self.point = point
 
 #: Splitmix-style increment for per-point seed derivation.
 _GOLDEN64 = 0x9E3779B97F4A7C15
@@ -238,6 +261,12 @@ def execute_points(
 
     Returns a :class:`SweepReport` whose ``results`` are ordered like
     ``points``.
+
+    A point that raises aborts the sweep: outstanding pool work is
+    cancelled, the pool is shut down, and a :class:`SweepPointError`
+    naming the failing point (and its seed) propagates with the worker
+    exception as its cause.  Stale ``.tmp-*.json`` files left in the
+    store by interrupted writers are cleaned up on the way out.
     """
     from repro.core import store as store_module
 
@@ -260,10 +289,16 @@ def execute_points(
         store = store_module.get_result_store()
     worker_dir = os.fspath(store.directory) if store.enabled else None
 
+    failed = False
     try:
         if report.jobs == 1:
             for index, point in enumerate(points):
-                _, result, hit, wall, pid = _evaluate_point((index, point))
+                try:
+                    _, result, hit, wall, pid = _evaluate_point(
+                        (index, point)
+                    )
+                except Exception as exc:
+                    raise SweepPointError(index, point, exc) from exc
                 outcome = PointOutcome(point, result, hit, wall, worker=0)
                 slots[index] = outcome
                 done += 1
@@ -276,26 +311,55 @@ def execute_points(
                 initargs=(worker_dir, store.enabled, store._generation),
             )
             with pool_cm as pool:
+                # future -> input index, so a failure can be attributed
+                # to the point (and seed) that caused it.
                 pending = {
-                    pool.submit(_evaluate_point, (index, point))
+                    pool.submit(_evaluate_point, (index, point)): index
                     for index, point in enumerate(points)
                 }
                 workers: Dict[int, int] = {}
-                while pending:
-                    finished, pending = wait(
-                        pending, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        index, result, hit, wall, pid = future.result()
-                        worker = workers.setdefault(pid, len(workers))
-                        outcome = PointOutcome(
-                            points[index], result, hit, wall, worker=worker
+                try:
+                    while pending:
+                        finished, _ = wait(
+                            pending, return_when=FIRST_COMPLETED
                         )
-                        slots[index] = outcome
-                        done += 1
-                        if progress is not None:
-                            progress(done, len(points), outcome)
+                        for future in finished:
+                            failed_index = pending.pop(future)
+                            try:
+                                index, result, hit, wall, pid = (
+                                    future.result()
+                                )
+                            except Exception as exc:
+                                raise SweepPointError(
+                                    failed_index, points[failed_index], exc
+                                ) from exc
+                            worker = workers.setdefault(pid, len(workers))
+                            outcome = PointOutcome(
+                                points[index],
+                                result,
+                                hit,
+                                wall,
+                                worker=worker,
+                            )
+                            slots[index] = outcome
+                            done += 1
+                            if progress is not None:
+                                progress(done, len(points), outcome)
+                except BaseException:
+                    # Don't keep simulating points whose results will be
+                    # discarded; queued work is cancelled and running
+                    # workers are awaited so none outlive the sweep.
+                    for future in pending:
+                        future.cancel()
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    raise
+    except BaseException:
+        failed = True
+        raise
     finally:
+        if failed and store.enabled:
+            # Interrupted workers can strand half-written temp files.
+            store.cleanup_stale_tmp()
         if overrode_store:
             store_module._ACTIVE_STORE = previous_store
 

@@ -116,6 +116,26 @@ def config_from_jsonable(payload: Dict[str, Any]) -> SystemConfig:
     )
 
 
+def _normalize_key_scalars(value: Any) -> Any:
+    """Collapse float spellings that denote the same configuration.
+
+    Canonical JSON spells ``8.0`` and ``8`` (and ``-0.0`` and ``0``)
+    differently, so configs built from float arithmetic (``1e6 / mhz``)
+    used to fingerprint differently from integer-built ones describing
+    the *same machine* -- a spurious cache miss.  Integral floats are
+    hashed as their integer value (which also folds ``-0.0`` into
+    ``0``); non-integral floats are already canonical.  ``bool`` is
+    left alone (it is an ``int`` subclass but a distinct config value).
+    """
+    if type(value) is float and value.is_integer():
+        return int(value)
+    if isinstance(value, dict):
+        return {key: _normalize_key_scalars(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize_key_scalars(item) for item in value]
+    return value
+
+
 def result_fingerprint(
     benchmark: str,
     data_refs: int,
@@ -127,13 +147,16 @@ def result_fingerprint(
     The hash covers the benchmark name, the per-processor trace length
     and the *entire* config (protocol, sizes, clocks, seed ...), so two
     setups share a key exactly when :func:`repro.core.experiment.
-    run_simulation` would produce identical results for them.
+    run_simulation` would produce identical results for them.  Config
+    scalars are normalised first (see :func:`_normalize_key_scalars`)
+    so numerically identical setups share a key no matter how their
+    numbers were spelled.
     """
     setup = {
         "schema": SCHEMA_VERSION,
         "benchmark": benchmark,
         "data_refs": data_refs,
-        "config": config_to_jsonable(config),
+        "config": _normalize_key_scalars(config_to_jsonable(config)),
     }
     if salt:
         setup["salt"] = salt
@@ -382,6 +405,26 @@ class ResultStore:
         removed = 0
         if self.results_dir.is_dir():
             for path in self.results_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def cleanup_stale_tmp(self) -> int:
+        """Remove orphaned ``.tmp-*.json`` files; returns the count.
+
+        :meth:`put` unlinks its temporary file on any failure it can
+        see, but a worker killed mid-write (pool shutdown, SIGKILL,
+        power loss) leaves the temp file behind.  Stale temps are
+        harmless to correctness -- lookups only match ``<key>.json`` --
+        but they accumulate, so sweep executors call this after a
+        failed or interrupted run.
+        """
+        removed = 0
+        if self.results_dir.is_dir():
+            for path in self.results_dir.glob(".tmp-*.json"):
                 try:
                     path.unlink()
                     removed += 1

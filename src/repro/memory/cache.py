@@ -34,7 +34,7 @@ class AccessOutcome(enum.Enum):
     UPGRADE = "upgrade"
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One direct-mapped frame: tag plus coherence state."""
 
@@ -107,16 +107,27 @@ class DirectMappedCache:
         return block % self.num_lines, block // self.num_lines
 
     def state_of(self, address: int) -> CacheState:
-        """Coherence state of the block containing ``address``."""
-        index, tag = self._index_and_tag(address)
-        line = self._lines.get(index)
-        if line is None or line.tag != tag:
+        """Coherence state of the block containing ``address``.
+
+        ``_index_and_tag`` is inlined here (and in :meth:`contains`):
+        these two lookups run once or more per reference per node on
+        the snoop path, and the call + tuple overhead was measurable.
+        """
+        block = address // self.block_size
+        line = self._lines.get(block % self.num_lines)
+        if line is None or line.tag != block // self.num_lines:
             return CacheState.INV
         return line.state
 
     def contains(self, address: int) -> bool:
         """Whether the block is present (RS or WE)."""
-        return self.state_of(address) is not CacheState.INV
+        block = address // self.block_size
+        line = self._lines.get(block % self.num_lines)
+        return (
+            line is not None
+            and line.tag == block // self.num_lines
+            and line.state is not CacheState.INV
+        )
 
     # ------------------------------------------------------------------
     # Processor side

@@ -53,13 +53,20 @@ def matching_bus_clock_ns(
             config, inputs, processor_cycle_ps
         )
 
+    last_time_ps: "list[float | None]" = [None]
+
     def bus_utilization(clock_ns: float) -> float:
         bus_config = replace(
             config, bus=replace(config.bus, clock_ps=max(1, round(clock_ns * 1000)))
         )
-        return BusModel(bus_config, inputs).solve(
-            processor_cycle_ps
-        ).processor_utilization
+        # Warm start each solve from the previous bisection probe: the
+        # fixed point moves smoothly in the bus clock, so the last
+        # solution seeds a near-tight bracket.
+        point = BusModel(bus_config, inputs).solve(
+            processor_cycle_ps, initial_guess_ps=last_time_ps[0]
+        )
+        last_time_ps[0] = point.time_per_instruction_ps
+        return point.processor_utilization
 
     low, high = low_ns, high_ns
     if bus_utilization(low) < target_utilization:

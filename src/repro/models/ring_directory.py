@@ -144,12 +144,21 @@ class DirectoryRingModel:
     # ------------------------------------------------------------------
     # Operating points and sweeps
     # ------------------------------------------------------------------
-    def solve(self, processor_cycle_ps: int) -> OperatingPoint:
+    def solve(
+        self,
+        processor_cycle_ps: int,
+        initial_guess_ps: Optional[float] = None,
+    ) -> OperatingPoint:
         frequencies = self.event_frequencies()
         time_ps, breakdown = solve_time_per_instruction(
             busy_ps_per_instr=float(processor_cycle_ps),
             event_frequencies=frequencies,
             model=self.breakdown,
+            **(
+                {}
+                if initial_guess_ps is None
+                else {"initial_guess_ps": initial_guess_ps}
+            ),
         )
         return make_operating_point(
             processor_cycle_ps,
@@ -166,6 +175,10 @@ class DirectoryRingModel:
             protocol=self.inputs.protocol,
             label=f"directory ring {self.config.ring.clock_mhz:.0f} MHz",
         )
+        guess = None
         for cycle_ns in cycles:
-            result.points.append(self.solve(round(cycle_ns * 1000)))
+            point = self.solve(round(cycle_ns * 1000), initial_guess_ps=guess)
+            result.points.append(point)
+            # Warm start the next bracket from the adjacent fixed point.
+            guess = point.time_per_instruction_ps
         return result

@@ -88,13 +88,26 @@ class SnoopingRingModel:
     # ------------------------------------------------------------------
     # Operating points and sweeps
     # ------------------------------------------------------------------
-    def solve(self, processor_cycle_ps: int) -> OperatingPoint:
-        """Fixed point at one processor speed."""
+    def solve(
+        self,
+        processor_cycle_ps: int,
+        initial_guess_ps: "float | None" = None,
+    ) -> OperatingPoint:
+        """Fixed point at one processor speed.
+
+        ``initial_guess_ps`` seeds the solver bracket (sweeps pass the
+        previous operating point to warm-start the search).
+        """
         frequencies = self.event_frequencies()
         time_ps, breakdown = solve_time_per_instruction(
             busy_ps_per_instr=float(processor_cycle_ps),
             event_frequencies=frequencies,
             model=self.breakdown,
+            **(
+                {}
+                if initial_guess_ps is None
+                else {"initial_guess_ps": initial_guess_ps}
+            ),
         )
         return _operating_point(
             processor_cycle_ps, time_ps, breakdown, frequencies
@@ -109,8 +122,13 @@ class SnoopingRingModel:
             protocol=self.inputs.protocol,
             label=f"snooping ring {self.config.ring.clock_mhz:.0f} MHz",
         )
+        guess = None
         for cycle_ns in cycles:
-            result.points.append(self.solve(round(cycle_ns * 1000)))
+            point = self.solve(round(cycle_ns * 1000), initial_guess_ps=guess)
+            result.points.append(point)
+            # Warm start: adjacent sweep points have nearby fixed
+            # points, so the previous solution seeds the next bracket.
+            guess = point.time_per_instruction_ps
         return result
 
 

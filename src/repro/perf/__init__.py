@@ -1,0 +1,26 @@
+"""Performance measurement and regression harness.
+
+``repro.perf.bench`` defines the microbenchmark suites behind the
+``repro bench`` CLI command and the committed ``BENCH_kernel.json`` /
+``BENCH_models.json`` baselines; see ``docs/PERFORMANCE.md``.
+"""
+
+from repro.perf.bench import (
+    BenchReport,
+    WorkloadResult,
+    check_against_baseline,
+    load_baseline,
+    run_suite,
+    suite_names,
+    write_baseline,
+)
+
+__all__ = [
+    "BenchReport",
+    "WorkloadResult",
+    "check_against_baseline",
+    "load_baseline",
+    "run_suite",
+    "suite_names",
+    "write_baseline",
+]

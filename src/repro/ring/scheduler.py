@@ -30,14 +30,33 @@ ablation bench.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional
 
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Relay, Simulator, Timeout
 from repro.ring.slots import FrameLayout, SlotType
 from repro.ring.topology import RingTopology
 
-__all__ = ["CirculatingSlot", "SlotGrant", "SlotScheduler"]
+__all__ = [
+    "CirculatingSlot",
+    "SlotGrant",
+    "SlotScheduler",
+    "fastpath_enabled",
+]
+
+
+def fastpath_enabled() -> bool:
+    """Whether new schedulers use the one-wake acquire fast path.
+
+    Controlled by the ``REPRO_NO_FASTPATH`` environment variable (any
+    non-empty value disables it) so the toggle propagates to process
+    pool workers without threading a flag through every constructor --
+    and, crucially, without adding a field to
+    :class:`repro.core.config.SystemConfig`, which would change every
+    result-store fingerprint.
+    """
+    return not os.environ.get("REPRO_NO_FASTPATH")
 
 
 @dataclass
@@ -84,6 +103,7 @@ class SlotScheduler:
         layout: FrameLayout,
         clock_ps: int,
         enforce_fairness: bool = True,
+        fastpath: Optional[bool] = None,
     ) -> None:
         if clock_ps <= 0:
             raise ValueError("clock_ps must be positive")
@@ -92,12 +112,36 @@ class SlotScheduler:
         self.layout = layout
         self.clock_ps = clock_ps
         self.enforce_fairness = enforce_fairness
+        self.fastpath = fastpath_enabled() if fastpath is None else fastpath
         self._slots: Dict[SlotType, List[CirculatingSlot]] = {
             SlotType.PROBE_EVEN: [],
             SlotType.PROBE_ODD: [],
             SlotType.BLOCK: [],
         }
         self._build_slots()
+        #: Per slot type: the cycle spacing between consecutive arrivals
+        #: of *any* slot of that type at a fixed stage, when that
+        #: spacing is uniform (type appears exactly once per frame and
+        #: the frames tile the ring exactly) -- the relay fast path's
+        #: hop grid.  ``None`` disables the fast path for the type
+        #: (e.g. ablation layouts with several probe slots per frame,
+        #: whose arrivals are not evenly spaced).
+        counts = {t: 0 for t in SlotType}
+        for offset_type, _ in self.layout.slot_offsets():
+            counts[offset_type] += 1
+        tiles = (
+            self.topology.total_stages
+            == self.topology.num_frames * self.layout.frame_stages
+        )
+        self._relay_period: Dict[SlotType, Optional[int]] = {
+            t: self.layout.frame_stages if counts[t] == 1 and tiles else None
+            for t in SlotType
+        }
+        #: Memoised per (slot type, stage): ``[(base, slot), ...]``
+        #: where ``base`` is the first cycle the slot head passes the
+        #: stage -- the static part of :meth:`next_arrival`, hoisted
+        #: out of the acquire hot loop.
+        self._arrival_bases: Dict[Any, list] = {}
         #: (messages, slot-cycles) granted per type, for utilisation.
         self.granted_cycles: Dict[SlotType, int] = {t: 0 for t in SlotType}
         self.granted_messages: Dict[SlotType, int] = {t: 0 for t in SlotType}
@@ -167,7 +211,97 @@ class SlotScheduler:
         slots = self._slots[slot_type]
         start_cycle = self.ps_to_next_cycle(self.sim.now)
         search_from = start_cycle
+        period = self._relay_period[slot_type] if self.fastpath else None
+        if period is not None:
+            # Fast path: predict the earliest arrival that is grabbable
+            # *per current slot state* and relay-sleep straight to it.
+            # Skipping the arrivals in between is exact, not
+            # approximate: ``free_at_cycle`` only ever increases and
+            # ``freed_by`` only changes when it does, so an arrival
+            # that is not grabbable now can never become grabbable
+            # later -- the per-arrival polling loop below would wake at
+            # each skipped arrival, observe exactly that, and go back
+            # to sleep.  The prediction is re-verified at wake time
+            # because another acquirer may have grabbed the predicted
+            # slot in the interim; the retry then resumes after the
+            # contested arrival, exactly where the polling loop would.
+            #
+            # Which wakes *exist* is still observable: equal-time
+            # tie-breaks across all processes are decided by kernel
+            # sequence numbers, and the reference loop draws one per
+            # arrival it polls.  The :class:`Relay` request reproduces
+            # that allocation stream exactly -- one fresh sequence
+            # number per skipped arrival, drawn at the arrival's own
+            # pop -- without resuming this generator, so every
+            # same-time ordering (same-node contests, cross-node
+            # engine-turn order) is bit-identical to polling while the
+            # dead arrivals cost one heap push each instead of a full
+            # generator resume plus this loop body.
+            total = self.topology.total_stages
+            fairness = self.enforce_fairness
+            clock_ps = self.clock_ps
+            step_ps = period * clock_ps
+            sim = self.sim
+            key = (slot_type, stage)
+            bases = self._arrival_bases.get(key)
+            if bases is None:
+                bases = self._arrival_bases[key] = [
+                    ((stage - candidate.initial_head) % total, candidate)
+                    for candidate in slots
+                ]
+            while True:
+                arrival = slot = None
+                for base, candidate in bases:
+                    free_at = candidate.free_at_cycle
+                    lower = free_at if free_at > search_from else search_from
+                    if base >= lower:
+                        candidate_arrival = base
+                    else:
+                        candidate_arrival = (
+                            base + (lower - base + total - 1) // total * total
+                        )
+                    if (
+                        fairness
+                        and candidate_arrival == free_at
+                        and candidate.freed_by == node
+                    ):
+                        # The anti-starvation rule blocks this exact
+                        # pass; the next chance is one revolution on.
+                        candidate_arrival += total
+                    if arrival is None or candidate_arrival < arrival:
+                        arrival = candidate_arrival
+                        slot = candidate
+                now_cycle = -(-sim.now // clock_ps)
+                if arrival > now_cycle:
+                    # First arrival the reference loop would sleep to:
+                    # arrivals of this type form one arithmetic
+                    # progression (step ``period``), and the reference
+                    # checks members <= now inline without sleeping.
+                    lower = search_from
+                    if lower <= now_cycle:
+                        lower = now_cycle + 1
+                    first = arrival - (arrival - lower) // period * period
+                    if first == arrival:
+                        yield Timeout(arrival * clock_ps - sim.now)
+                    else:
+                        yield Relay(
+                            first * clock_ps, step_ps, arrival * clock_ps
+                        )
+                if self._grabbable(slot, node, arrival):
+                    return self._grant(
+                        slot,
+                        slot_type,
+                        node,
+                        arrival,
+                        occupancy_cycles,
+                        start_cycle,
+                        removed_by,
+                    )
+                search_from = arrival + 1
         while True:
+            # Reference path (--no-fastpath): wake at every slot
+            # arrival and poll.  Kept verbatim for bisection against
+            # the fast path above.
             arrival, slot = min(
                 (self.next_arrival(candidate, stage, search_from), candidate)
                 for candidate in slots
@@ -178,34 +312,53 @@ class SlotScheduler:
                     self.cycle_to_ps(arrival) - self.sim.now
                 )
             if self._grabbable(slot, node, arrival):
-                release = arrival + occupancy_cycles
-                slot.free_at_cycle = release
-                slot.freed_by = removed_by
-                slot.busy_cycles += occupancy_cycles
-                slot.grabs += 1
-                waited = arrival - start_cycle
-                self.granted_cycles[slot_type] += occupancy_cycles
-                self.granted_messages[slot_type] += 1
-                self.wait_cycles[slot_type] += waited
-                histograms = self.sim.histograms
-                if histograms is not None:
-                    histograms.record_slot_grant(
-                        slot_type.value, occupancy_cycles, waited
-                    )
-                tracer = self.sim.tracer
-                if tracer is not None:
-                    tracer.slot_grant(
-                        self.cycle_to_ps(arrival),
-                        self.cycle_to_ps(occupancy_cycles),
-                        slot_type.value,
-                        slot.index,
-                        node,
-                        waited,
-                    )
-                return SlotGrant(
-                    slot=slot, grab_cycle=arrival, release_cycle=release
+                return self._grant(
+                    slot,
+                    slot_type,
+                    node,
+                    arrival,
+                    occupancy_cycles,
+                    start_cycle,
+                    removed_by,
                 )
             search_from = arrival + 1
+
+    def _grant(
+        self,
+        slot: CirculatingSlot,
+        slot_type: SlotType,
+        node: int,
+        arrival: int,
+        occupancy_cycles: int,
+        start_cycle: int,
+        removed_by: Optional[int],
+    ) -> SlotGrant:
+        """Record a successful grab (shared by both acquire paths)."""
+        release = arrival + occupancy_cycles
+        slot.free_at_cycle = release
+        slot.freed_by = removed_by
+        slot.busy_cycles += occupancy_cycles
+        slot.grabs += 1
+        waited = arrival - start_cycle
+        self.granted_cycles[slot_type] += occupancy_cycles
+        self.granted_messages[slot_type] += 1
+        self.wait_cycles[slot_type] += waited
+        histograms = self.sim.histograms
+        if histograms is not None:
+            histograms.record_slot_grant(
+                slot_type.value, occupancy_cycles, waited
+            )
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.slot_grant(
+                self.cycle_to_ps(arrival),
+                self.cycle_to_ps(occupancy_cycles),
+                slot_type.value,
+                slot.index,
+                node,
+                waited,
+            )
+        return SlotGrant(slot=slot, grab_cycle=arrival, release_cycle=release)
 
     def _grabbable(self, slot: CirculatingSlot, node: int, cycle: int) -> bool:
         if cycle < slot.free_at_cycle:

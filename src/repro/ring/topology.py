@@ -11,6 +11,7 @@ round trip -- exactly the numbers in section 4.2.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.ring.slots import FrameLayout
 
@@ -59,18 +60,24 @@ class RingTopology:
     # ------------------------------------------------------------------
     # Geometry
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def raw_stages(self) -> int:
         """Stages contributed by node interfaces alone."""
         return self.num_nodes * self.stages_per_node
 
-    @property
+    @cached_property
     def total_stages(self) -> int:
-        """Ring length in stages, padded to whole frames."""
+        """Ring length in stages, padded to whole frames.
+
+        ``cached_property`` (writing through the instance ``__dict__``,
+        which a frozen dataclass permits) because the geometry is
+        immutable and this sits on the slot scheduler's per-arrival hot
+        path.
+        """
         frames = -(-self.raw_stages // self.frame_stages)
         return frames * self.frame_stages
 
-    @property
+    @cached_property
     def num_frames(self) -> int:
         """Frames circulating on the ring."""
         return self.total_stages // self.frame_stages

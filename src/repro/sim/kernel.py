@@ -46,6 +46,7 @@ from typing import Any, Generator, List, Optional, Tuple
 __all__ = [
     "Event",
     "Process",
+    "Relay",
     "SimulationError",
     "Simulator",
     "Timeout",
@@ -124,10 +125,44 @@ class Timeout:
         return f"Timeout({self.delay})"
 
 
+class Relay:
+    """A periodic-hop sleep: consume tie-break ranks without resuming.
+
+    ``yield Relay(first, step, final)`` (absolute picosecond times)
+    schedules a heap entry at ``first`` that, on every pop, silently
+    re-enqueues itself ``step`` later -- drawing a fresh sequence number
+    per hop exactly where a polling loop's wakeup would -- until the hop
+    grid reaches ``final``, where the process resumes with ``None``.
+
+    This exists for the slot scheduler's fast path: a blocked sender
+    knows (by the free-time monotonicity argument in
+    :mod:`repro.ring.scheduler`) that every slot arrival before its
+    predicted grab is dead, but the *global order* of sequence numbers
+    still decides same-time tie-breaks across all processes.  Relay
+    hops keep the ``(time, seq)`` allocation stream bit-identical to
+    per-arrival polling while skipping the generator resume and the
+    scheduler loop body at each dead arrival.
+    """
+
+    __slots__ = ("first", "step", "final")
+
+    def __init__(self, first: int, step: int, final: int) -> None:
+        if step <= 0:
+            raise ValueError(f"relay step must be positive: {step}")
+        if not first <= final:
+            raise ValueError(f"relay first {first} past final {final}")
+        self.first = first
+        self.step = step
+        self.final = final
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Relay(first={self.first}, step={self.step}, final={self.final})"
+
+
 class Process:
     """A running simulation process wrapping a generator body."""
 
-    __slots__ = ("body", "name", "alive", "result", "_done_event")
+    __slots__ = ("body", "name", "alive", "result", "_done_event", "_wake_token")
 
     def __init__(self, body: ProcessBody, name: str, sim: "Simulator") -> None:
         self.body = body
@@ -135,6 +170,11 @@ class Process:
         self.alive = True
         self.result: Any = None
         self._done_event = Event(sim, name=f"done:{name}")
+        #: Wake-validity token: every heap entry records the token at
+        #: scheduling time, and :meth:`kill` bumps it, so a cancelled
+        #: process's pending wakeups become *dead timeouts* that the
+        #: event loop discards lazily at pop time (no heap surgery).
+        self._wake_token = 0
 
     @property
     def done(self) -> Event:
@@ -157,9 +197,17 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Tuple[int, int, "Process", Any]] = []
+        self._heap: List[Tuple[int, int, int, "Process", Any]] = []
         self._sequence = itertools.count()
         self._active_processes = 0
+        #: Dead timeouts discarded lazily at pop time (statistics).
+        self.cancelled_wakes = 0
+        #: Relay hops performed (dead slot arrivals skipped; statistics).
+        self.relay_hops = 0
+        #: Heap entries popped over the simulator's lifetime.  A
+        #: deterministic measure of event-loop work, used by the perf
+        #: harness (``repro bench``) where wall-clock would be noisy.
+        self.events_processed = 0
         #: Optional telemetry sinks (see ``repro.obs``).  Both default
         #: to ``None`` and are duck-typed: the kernel and the modules
         #: built on it never import the observability package, they
@@ -198,13 +246,15 @@ class Simulator:
         Integral floats (e.g. the result of ``1e6 / mhz`` arithmetic
         that happens to land exactly) are accepted and converted.
         """
-        if not isinstance(delay, int):
+        if type(delay) is not int:
             if isinstance(delay, float):
                 if not delay.is_integer():
                     raise TypeError(
                         f"timeout delay must be an integral number of "
                         f"picoseconds, got {delay!r}"
                     )
+                delay = int(delay)
+            elif isinstance(delay, int):  # bool / int subclass
                 delay = int(delay)
             else:
                 raise TypeError(
@@ -221,14 +271,57 @@ class Simulator:
     # Scheduling core
     # ------------------------------------------------------------------
     def _schedule(self, when: int, process: Process, value: Any) -> None:
-        heapq.heappush(self._heap, (when, next(self._sequence), process, value))
+        heapq.heappush(
+            self._heap,
+            (when, next(self._sequence), process._wake_token, process, value),
+        )
+
+    def kill(self, process: Process) -> None:
+        """Terminate a process without resuming it (lazy cancellation).
+
+        Any wakeup the process has pending on the heap becomes a *dead
+        timeout*: its recorded wake token no longer matches, so the
+        event loop discards it at pop time without resuming the body
+        (and without O(n) heap surgery now).  The ``done`` event fires
+        with ``None``, exactly as if the body had returned.
+        """
+        if not process.alive:
+            return
+        process.alive = False
+        process._wake_token += 1
+        process.body.close()
+        self._active_processes -= 1
+        process._done_event.succeed(None)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.process_finish(self.now, process.name)
 
     def _step(self) -> None:
-        when, _, process, value = heapq.heappop(self._heap)
+        """Process exactly one heap entry (reference implementation).
+
+        :meth:`run` inlines this loop for speed; this method is kept
+        as the single-step form the tests and debugging sessions use.
+        Behaviour must stay identical to the inlined loop.
+        """
+        when, _, token, process, value = heapq.heappop(self._heap)
         if when < self.now:
             raise SimulationError("time went backwards")
         self.now = when
-        if not process.alive:
+        self.events_processed += 1
+        if not process.alive or token != process._wake_token:
+            self.cancelled_wakes += token != process._wake_token
+            return
+        if type(value) is Relay:
+            # Silent hop: draw the sequence number the polling wake
+            # would have used here, without resuming the process.
+            self.relay_hops += 1
+            nxt = when + value.step
+            seq = next(self._sequence)
+            if nxt >= value.final:
+                entry = (value.final, seq, token, process, None)
+            else:
+                entry = (nxt, seq, token, process, value)
+            heapq.heappush(self._heap, entry)
             return
         try:
             request = process.body.send(value)
@@ -247,6 +340,14 @@ class Simulator:
             request._add_waiter(process)
         elif isinstance(request, Process):
             request._done_event._add_waiter(process)
+        elif isinstance(request, Relay):
+            if request.first < self.now:
+                raise SimulationError(
+                    f"relay first hop {request.first} is in the past "
+                    f"(now={self.now})"
+                )
+            value = None if request.first >= request.final else request
+            self._schedule(request.first, process, value)
         else:
             raise SimulationError(
                 f"process {process.name!r} yielded unsupported request "
@@ -270,17 +371,120 @@ class Simulator:
         * ``until`` in the past is a caller bug and raises
           :class:`ValueError` instead of silently rewinding the clock
           (which would corrupt every pending-event invariant).
+
+        The loop body is :meth:`_step` inlined with every per-event
+        attribute lookup hoisted into locals; the simulator spends the
+        bulk of each run here, and the method-call + lookup overhead
+        was a measurable fraction of total wall time.
         """
         if until is not None and until < self.now:
             raise ValueError(
                 f"run(until={until}) would move time backwards "
                 f"(now={self.now})"
             )
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                self.now = until
-                return self.now
-            self._step()
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        next_seq = self._sequence.__next__
+        timeout_type = Timeout
+        event_type = Event
+        relay_type = Relay
+        relay_hops = 0
+        events = 0
+        now = self.now
+        try:
+            while heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    return until
+                when, _, token, process, value = heappop(heap)
+                events += 1
+                if when < now:
+                    self.now = now
+                    raise SimulationError("time went backwards")
+                self.now = now = when
+                if not process.alive or token != process._wake_token:
+                    self.cancelled_wakes += token != process._wake_token
+                    continue
+                if value.__class__ is relay_type:
+                    # Silent hop: burn the sequence number the polling
+                    # wake would have drawn, without resuming the body.
+                    relay_hops += 1
+                    nxt = when + value.step
+                    if nxt >= value.final:
+                        heappush(
+                            heap,
+                            (value.final, next_seq(), token, process, None),
+                        )
+                    else:
+                        heappush(
+                            heap,
+                            (nxt, next_seq(), token, process, value),
+                        )
+                    continue
+                try:
+                    request = process.body.send(value)
+                except StopIteration as stop:
+                    process.alive = False
+                    process.result = stop.value
+                    self._active_processes -= 1
+                    process._done_event.succeed(stop.value)
+                    tracer = self.tracer
+                    if tracer is not None:
+                        tracer.process_finish(now, process.name)
+                    continue
+                request_type = type(request)
+                if request_type is timeout_type:
+                    heappush(
+                        heap,
+                        (
+                            now + request.delay,
+                            next_seq(),
+                            process._wake_token,
+                            process,
+                            None,
+                        ),
+                    )
+                elif request_type is event_type:
+                    request._add_waiter(process)
+                elif request_type is relay_type:
+                    first = request.first
+                    if first < now:
+                        raise SimulationError(
+                            f"relay first hop {first} is in the past "
+                            f"(now={now})"
+                        )
+                    heappush(
+                        heap,
+                        (
+                            first,
+                            next_seq(),
+                            process._wake_token,
+                            process,
+                            request if first < request.final else None,
+                        ),
+                    )
+                elif request_type is Process:
+                    request._done_event._add_waiter(process)
+                elif isinstance(request, Timeout):
+                    self._schedule(now + request.delay, process, None)
+                elif isinstance(request, Event):
+                    request._add_waiter(process)
+                elif isinstance(request, Relay):
+                    value = None if request.first >= request.final else request
+                    self._schedule(request.first, process, value)
+                elif isinstance(request, Process):
+                    request._done_event._add_waiter(process)
+                else:
+                    raise SimulationError(
+                        f"process {process.name!r} yielded unsupported "
+                        f"request {request!r}; yield a Timeout, Event, "
+                        f"Relay or Process"
+                    )
+        finally:
+            self.relay_hops += relay_hops
+            self.events_processed += events
         if until is not None and until > self.now:
             self.now = until
         return self.now

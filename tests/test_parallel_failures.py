@@ -1,0 +1,95 @@
+"""Failure handling in the parallel sweep executor.
+
+A long sweep that dies should say *which point* killed it: without
+attribution the failing (benchmark, protocol, processors, seed) tuple
+is lost, and with a process pool the naive path also leaves queued
+futures running after the caller has given up.  These tests pin the
+contract of :class:`repro.core.parallel.SweepPointError`:
+
+* the error names the failing point's index, benchmark, protocol and
+  resolved seed, with the worker exception as ``__cause__``;
+* both the serial and the pool path raise it;
+* a failure cleans up stale ``.tmp-*.json`` droppings in the store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import Protocol
+from repro.core.parallel import (
+    SweepPoint,
+    SweepPointError,
+    execute_points,
+)
+
+REFS = 300
+
+GOOD = SweepPoint("mp3d", 4, Protocol.SNOOPING, REFS)
+#: The trace generator raises KeyError for an unknown benchmark, which
+#: is a convenient stand-in for any worker-side failure.
+BAD = SweepPoint("no-such-benchmark", 4, Protocol.SNOOPING, REFS, seed=41)
+
+
+def test_serial_failure_names_the_point(temp_store):
+    with pytest.raises(SweepPointError) as excinfo:
+        execute_points([GOOD, BAD], jobs=1)
+    error = excinfo.value
+    assert error.index == 1
+    assert error.point is BAD
+    assert error.__cause__ is not None
+    message = str(error)
+    assert "no-such-benchmark" in message
+    assert "snooping" in message
+    assert "seed=41" in message
+
+
+def test_parallel_failure_names_the_point(temp_store):
+    with pytest.raises(SweepPointError) as excinfo:
+        execute_points([BAD, GOOD], jobs=2)
+    error = excinfo.value
+    assert error.index == 0
+    assert error.point == BAD
+    assert error.__cause__ is not None
+    assert "no-such-benchmark" in str(error)
+    assert "seed=41" in str(error)
+
+
+def test_parallel_failure_cancels_outstanding_points(temp_store):
+    # Many queued points behind the failing one: the executor must not
+    # drain them all before surfacing the error.  With jobs=2 only a
+    # couple can be in flight when BAD fails, so a bounded number of
+    # results may land in the store -- but nowhere near all of them.
+    points = [BAD] + [
+        SweepPoint("mp3d", 4, Protocol.SNOOPING, REFS, seed=s)
+        for s in range(20)
+    ]
+    with pytest.raises(SweepPointError):
+        execute_points(points, jobs=2)
+    assert temp_store.entry_count() < len(points) - 2
+
+
+def test_failure_sweeps_stale_tmp_files(temp_store):
+    temp_store.results_dir.mkdir(parents=True, exist_ok=True)
+    stale = temp_store.results_dir / ".tmp-deadbeef.json"
+    stale.write_text("{}")
+    with pytest.raises(SweepPointError):
+        execute_points([BAD], jobs=1)
+    assert not stale.exists()
+
+
+def test_cleanup_stale_tmp_spares_real_entries(temp_store):
+    execute_points([GOOD], jobs=1)
+    assert temp_store.entry_count() == 1
+    temp_store.results_dir.joinpath(".tmp-1.json").write_text("{}")
+    temp_store.results_dir.joinpath(".tmp-2.json").write_text("{}")
+    assert temp_store.cleanup_stale_tmp() == 2
+    assert temp_store.entry_count() == 1
+    assert temp_store.cleanup_stale_tmp() == 0
+
+
+def test_successful_sweep_leaves_store_config_restored(temp_store, tmp_path):
+    from repro.core.store import get_result_store
+
+    execute_points([GOOD], jobs=1, cache_dir=tmp_path)
+    assert get_result_store() is temp_store

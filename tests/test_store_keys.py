@@ -67,6 +67,37 @@ def test_fingerprint_varies_with_every_setup_component():
     assert len(set(variants + [GOLDEN_KEY])) == len(variants) + 1
 
 
+def test_equivalent_float_spellings_share_a_key():
+    """Numerically equal config scalars must hit the same cache entry.
+
+    Configs built through arithmetic (``1e9 / mhz``, unit conversions)
+    often carry integral floats where hand-written configs carry ints;
+    both describe the same experiment, so ``8.0`` vs ``8`` and ``-0.0``
+    vs ``0.0`` must not cause spurious cache misses.
+    """
+    from dataclasses import replace
+
+    base = _fixture_config()
+    # Integral float spelling of an int field collapses to the int key
+    # (and therefore still matches the golden fingerprint).
+    as_float = replace(base, ring=replace(base.ring, clock_ps=2000.0))
+    assert result_fingerprint("mp3d", 2000, as_float) == GOLDEN_KEY
+    # Negative zero collapses to plain zero.
+    minus_zero = replace(
+        base, memory=replace(base.memory, directory_lookup_ps=-0.0)
+    )
+    plus_zero = replace(
+        base, memory=replace(base.memory, directory_lookup_ps=0.0)
+    )
+    assert result_fingerprint("mp3d", 2000, minus_zero) == result_fingerprint(
+        "mp3d", 2000, plus_zero
+    )
+    assert result_fingerprint("mp3d", 2000, minus_zero) == GOLDEN_KEY
+    # Genuinely different values still get their own keys.
+    fractional = replace(base, ring=replace(base.ring, clock_ps=2000.5))
+    assert result_fingerprint("mp3d", 2000, fractional) != GOLDEN_KEY
+
+
 def _assert_json_scalars(value, path="config"):
     """Only dict/str keys and str/int/float/bool/None leaves allowed."""
     if isinstance(value, dict):
