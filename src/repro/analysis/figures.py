@@ -12,10 +12,18 @@ from typing import List, Sequence, Tuple
 
 from repro.core.results import SweepResult
 
-__all__ = ["render_chart", "render_sweeps", "series_summary"]
+__all__ = [
+    "render_chart",
+    "render_sweeps",
+    "render_heatmap",
+    "series_summary",
+]
 
 #: Plot glyphs cycled across series, echoing the paper's line styles.
 MARKERS = "*o+x#@%&"
+
+#: Heatmap intensity ramp, dark to bright.
+HEAT_GLYPHS = " .:-=+*#%@"
 
 
 def render_chart(
@@ -92,6 +100,58 @@ def render_sweeps(
     return render_chart(
         series, title=title, y_label=y_label, width=width, height=height
     )
+
+
+def render_heatmap(
+    rows: Sequence[Sequence[float]],
+    title: str,
+    x_label: str = "",
+    y_label: str = "",
+    row_labels: Sequence[str] = (),
+    glyphs: str = HEAT_GLYPHS,
+) -> str:
+    """Render a 2-D value surface as an ASCII intensity map.
+
+    Each cell maps its value onto ``glyphs`` (linear, min..max over
+    the whole surface); NaN cells -- failed grid points -- render as
+    ``!`` so divergence is visible at a glance.
+    """
+    cells = [list(row) for row in rows]
+    if not cells or not any(cells):
+        return f"{title}\n(no data)"
+    finite = [v for row in cells for v in row if v == v]
+    low = min(finite) if finite else 0.0
+    high = max(finite) if finite else 0.0
+    span = (high - low) or 1.0
+    label_width = max((len(str(l)) for l in row_labels), default=0)
+    lines: List[str] = [title]
+    if y_label:
+        lines.append(y_label)
+    for index, row in enumerate(cells):
+        prefix = (
+            str(row_labels[index]).rjust(label_width)
+            if index < len(row_labels)
+            else " " * label_width
+        )
+        body = "".join(
+            "!"
+            if value != value
+            else glyphs[
+                min(
+                    len(glyphs) - 1,
+                    int((value - low) / span * (len(glyphs) - 1) + 0.5),
+                )
+            ]
+            for value in row
+        )
+        lines.append(f"{prefix} |{body}|")
+    if x_label:
+        lines.append(" " * (label_width + 2) + x_label)
+    lines.append(
+        f"  scale: '{glyphs[0]}'={low:.3g} .. '{glyphs[-1]}'={high:.3g}"
+        + ("  '!'=diverged" if len(finite) < sum(map(len, cells)) else "")
+    )
+    return "\n".join(lines)
 
 
 def series_summary(sweep: SweepResult, metric: str) -> str:

@@ -21,6 +21,8 @@ def format_value(value: Cell, decimals: int = 2) -> str:
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, float):
+        if value != value:  # NaN: a failed (divergent) grid point
+            return "n/a"
         return f"{value:.{decimals}f}"
     return str(value)
 

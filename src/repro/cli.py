@@ -6,6 +6,7 @@ Commands mirror the library's layers:
 * ``sweep``     -- hybrid methodology curves for one configuration.
 * ``compare``   -- snooping vs directory (Figure 3/4 style panels).
 * ``ringbus``   -- ring vs bus (Figure 6 style panels).
+* ``grid``      -- vectorized design surface (needs NumPy).
 * ``validate``  -- model-vs-simulation error report.
 * ``snooprate`` -- the closed-form Table 3.
 * ``benchmarks``-- list available workload configurations.
@@ -84,6 +85,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="disable the persistent on-disk result cache",
         )
 
+    def add_grid_toggle(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--grid",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help="solve the model sweeps on the vectorized grid engine "
+            "(--grid needs NumPy; --no-grid forces the scalar models; "
+            "default: scalar -- results are bit-identical either way)",
+        )
+
     simulate = commands.add_parser(
         "simulate", help="run one trace-driven simulation"
     )
@@ -157,11 +168,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the extraction simulation under the coherence "
         "monitor (bypasses the result cache)",
     )
+    add_grid_toggle(sweep)
 
     compare = commands.add_parser(
         "compare", help="snooping vs directory panels (Figure 3/4 style)"
     )
     add_workload_arguments(compare)
+    add_grid_toggle(compare)
     compare.add_argument(
         "--sizes",
         type=int,
@@ -176,6 +189,56 @@ def build_parser() -> argparse.ArgumentParser:
         "ringbus", help="ring vs bus panels (Figure 6 style)"
     )
     add_workload_arguments(ringbus)
+    add_grid_toggle(ringbus)
+
+    grid = commands.add_parser(
+        "grid",
+        help="vectorized design surface (needs NumPy)",
+        description=(
+            "Cross one or more machine-parameter axes with the "
+            "processor-cycle sweep and solve the whole surface in one "
+            "vectorized pass (repro.models.grid).  One trace "
+            "extraction feeds every point; results match the scalar "
+            "models bit for bit."
+        ),
+    )
+    add_workload_arguments(grid)
+    grid.add_argument(
+        "--protocol",
+        choices=sorted(_PROTOCOLS),
+        default=Protocol.SNOOPING.value,
+    )
+    grid.add_argument(
+        "--param",
+        action="append",
+        nargs="+",
+        default=None,
+        metavar=("NAME", "VALUE"),
+        help="a parameter axis: name (see repro.core.sensitivity."
+        "SUPPORTED_PARAMETERS) followed by its values; repeatable "
+        "(e.g. --param ring_clock_ps 2000 4000 --param block_size 32 64)",
+    )
+    grid.add_argument(
+        "--cycles",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="NS",
+        help="processor-cycle axis in ns (default: the paper's 1..20)",
+    )
+    grid.add_argument(
+        "--metric",
+        choices=(
+            "processor_utilization",
+            "network_utilization",
+            "bank_utilization",
+            "shared_miss_latency_ns",
+            "upgrade_latency_ns",
+            "time_per_instruction_ps",
+        ),
+        default="processor_utilization",
+        help="surface to render (default processor_utilization)",
+    )
 
     validate = commands.add_parser(
         "validate", help="model-vs-simulation error report"
@@ -467,6 +530,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         _PROTOCOLS[args.protocol],
         data_refs=args.refs,
         check_invariants=args.check_invariants,
+        use_grid=args.grid,
     )
     rows = [
         {
@@ -495,6 +559,7 @@ def _command_compare(args: argparse.Namespace) -> int:
             data_refs=args.refs,
             jobs=args.jobs,
             progress=_progress_printer(args),
+            use_grid=args.grid,
         )
         _print_sweeps(sweeps, f"{args.benchmark}-{sizes[0]}")
     else:
@@ -504,6 +569,7 @@ def _command_compare(args: argparse.Namespace) -> int:
             data_refs=args.refs,
             jobs=args.jobs,
             progress=_progress_printer(args),
+            use_grid=args.grid,
         )
         for name, procs in panels:
             _print_sweeps(grid[(name, procs)], f"{name}-{procs}")
@@ -524,9 +590,93 @@ def _command_ringbus(args: argparse.Namespace) -> int:
         data_refs=args.refs,
         jobs=args.jobs,
         progress=_progress_printer(args),
+        use_grid=args.grid,
     )
     _print_sweeps(sweeps, f"{args.benchmark}-{args.processors}")
     _print_cache_summary(args, before, time.perf_counter() - started)
+    return 0
+
+
+def _command_grid(args: argparse.Namespace) -> int:
+    import time
+
+    try:
+        from repro.models import grid as grid_engine
+    except ImportError as error:  # pragma: no cover - import is lazy below
+        print(f"grid engine unavailable: {error}", file=sys.stderr)
+        return 2
+    if not grid_engine.grid_available():
+        print(
+            "grid engine unavailable: NumPy is not installed "
+            "(or REPRO_NO_NUMPY is set); the scalar commands "
+            "('sweep', 'compare', 'ringbus') cover the same models",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.core.sweep import design_surface
+
+    parameters = None
+    if args.param:
+        parameters = {}
+        for axis in args.param:
+            if len(axis) < 2:
+                print(
+                    f"--param {axis[0]}: needs at least one value",
+                    file=sys.stderr,
+                )
+                return 2
+            parameters[axis[0]] = [int(value) for value in axis[1:]]
+    grid_engine.reset_grid_stats()
+    started = time.perf_counter()
+    solution = design_surface(
+        args.benchmark,
+        args.processors,
+        protocol=_PROTOCOLS[args.protocol],
+        parameters=parameters,
+        cycles_ns=args.cycles,
+        data_refs=args.refs,
+    )
+    wall_s = time.perf_counter() - started
+    stats = grid_engine.GRID_STATS
+    print(
+        f"{solution.size} points: {solution.n_converged} converged, "
+        f"{solution.n_failed} failed, {stats['grid_evals']} grid evals "
+        f"in {wall_s:.2f}s",
+        file=sys.stderr,
+    )
+    cycles = list(solution.processor_cycle_ns)
+    n_cycles = solution.grid.chain_shape[1]
+    cycle_axis = cycles[:n_cycles]
+    title = (
+        f"{args.benchmark}-{args.processors} {args.protocol}: {args.metric}"
+    )
+    if parameters is not None and len(parameters) == 1:
+        from repro.analysis.figures import render_heatmap
+
+        (name, values), = parameters.items()
+        print(
+            render_heatmap(
+                solution.surface(args.metric).tolist(),
+                title=title,
+                x_label=(
+                    f"processor cycle {cycle_axis[0]:g}.."
+                    f"{cycle_axis[-1]:g} ns ({len(cycle_axis)} columns)"
+                ),
+                y_label=name,
+                row_labels=[str(value) for value in values],
+            )
+        )
+    else:
+        rows = [
+            {
+                "cycle (ns)": point.processor_cycle_ns,
+                "proc util": round(point.processor_utilization, 3),
+                "net util": round(point.network_utilization, 3),
+                "miss latency (ns)": round(point.shared_miss_latency_ns, 1),
+            }
+            for point in solution.operating_points()
+        ]
+        print(render_table(rows, title=title))
     return 0
 
 
@@ -695,6 +845,7 @@ _HANDLERS = {
     "sweep": _command_sweep,
     "compare": _command_compare,
     "ringbus": _command_ringbus,
+    "grid": _command_grid,
     "validate": _command_validate,
     "snooprate": _command_snooprate,
     "benchmarks": _command_benchmarks,

@@ -13,7 +13,17 @@ Supported parameters (name -> what changes):
 * ``ring_width_bits``   -- link width (changes slot geometry);
 * ``ring_clock_ps``     -- ring clock period;
 * ``block_size``        -- cache block / transfer size (changes both
-  the caches and the slot geometry).
+  the caches and the slot geometry);
+* ``num_processors``    -- system size;
+* ``bus_clock_ps``      -- bus clock period (Figure 6's other axis);
+* ``cache_response_ps`` -- dirty-owner cache response time;
+* ``directory_lookup_ps`` -- directory lookup time.
+
+:func:`sensitivity_sweep` re-simulates per value;
+:func:`model_sensitivity_sweep` holds one extraction fixed and lets
+the analytical models resolve each value -- the cheap, grid-friendly
+counterpart (these are also the axes ``repro.models.grid`` crosses
+into design surfaces).
 """
 
 from __future__ import annotations
@@ -25,7 +35,12 @@ from repro.core.config import Protocol, SystemConfig
 from repro.core.experiment import DEFAULT_DATA_REFS, run_simulation
 from repro.core.results import SimulationResult
 
-__all__ = ["SUPPORTED_PARAMETERS", "apply_parameter", "sensitivity_sweep"]
+__all__ = [
+    "SUPPORTED_PARAMETERS",
+    "apply_parameter",
+    "sensitivity_sweep",
+    "model_sensitivity_sweep",
+]
 
 
 def _set_cache_size(config: SystemConfig, value: int) -> SystemConfig:
@@ -48,12 +63,36 @@ def _set_block_size(config: SystemConfig, value: int) -> SystemConfig:
     return replace(config, cache=replace(config.cache, block_size=value))
 
 
+def _set_num_processors(config: SystemConfig, value: int) -> SystemConfig:
+    return replace(config, num_processors=value)
+
+
+def _set_bus_clock(config: SystemConfig, value: int) -> SystemConfig:
+    return replace(config, bus=replace(config.bus, clock_ps=value))
+
+
+def _set_cache_response(config: SystemConfig, value: int) -> SystemConfig:
+    return replace(
+        config, memory=replace(config.memory, cache_response_ps=value)
+    )
+
+
+def _set_directory_lookup(config: SystemConfig, value: int) -> SystemConfig:
+    return replace(
+        config, memory=replace(config.memory, directory_lookup_ps=value)
+    )
+
+
 SUPPORTED_PARAMETERS: Dict[str, Callable[[SystemConfig, int], SystemConfig]] = {
     "cache_size_bytes": _set_cache_size,
     "memory_access_ps": _set_memory_access,
     "ring_width_bits": _set_ring_width,
     "ring_clock_ps": _set_ring_clock,
     "block_size": _set_block_size,
+    "num_processors": _set_num_processors,
+    "bus_clock_ps": _set_bus_clock,
+    "cache_response_ps": _set_cache_response,
+    "directory_lookup_ps": _set_directory_lookup,
 }
 
 
@@ -138,6 +177,84 @@ def sensitivity_sweep(
                 "shared miss %": round(
                     result.trace.shared_miss_rate_percent, 3
                 ),
+            }
+        )
+    return rows
+
+
+def model_sensitivity_sweep(
+    benchmark: str,
+    num_processors: int,
+    parameter: str,
+    values: Sequence[int],
+    protocol: Protocol = Protocol.SNOOPING,
+    processor_cycle_ns: float = 20.0,
+    data_refs: int = DEFAULT_DATA_REFS,
+    base_config: Optional[SystemConfig] = None,
+    use_grid: Optional[bool] = None,
+) -> List[Dict[str, float]]:
+    """Analytic counterpart of :func:`sensitivity_sweep`: one trace
+    extraction, then the analytical model resolves each value.
+
+    Misses the emergent effects a re-simulation captures (the event
+    mix is held fixed) but costs milliseconds per value, so it scales
+    to axes a simulation sweep cannot.  ``use_grid`` picks the solver:
+    True forces the vectorized grid engine, False the scalar models,
+    None (default) uses the grid when NumPy is available.  Both paths
+    produce identical rows.
+    """
+    from repro.core.hybrid import (
+        _target_config,
+        extraction_point,
+        model_for,
+    )
+    from repro.core.experiment import run_simulation_cached
+
+    if use_grid is None:
+        from repro.models.grid import grid_available
+
+        use_grid = grid_available()
+    point = extraction_point(
+        benchmark,
+        num_processors,
+        protocol,
+        config=base_config,
+        data_refs=data_refs,
+    )
+    simulated = run_simulation_cached(
+        benchmark,
+        num_processors,
+        point.protocol,
+        data_refs=data_refs,
+        config=point.config,
+    )
+    base = _target_config(num_processors, protocol, base_config)
+    configs = [apply_parameter(base, parameter, value) for value in values]
+    cycle_ps = round(processor_cycle_ns * 1000)
+    if use_grid:
+        from repro.models import grid as grid_engine
+
+        solution = grid_engine.solve_grid(
+            grid_engine.ModelGrid.from_points(
+                grid_engine.family_for_protocol(protocol),
+                [(config, simulated.inputs, cycle_ps) for config in configs],
+            )
+        )
+        points = solution.operating_points()
+    else:
+        points = [
+            model_for(config, simulated).solve(cycle_ps)
+            for config in configs
+        ]
+    rows: List[Dict[str, float]] = []
+    for value, solved in zip(values, points):
+        rows.append(
+            {
+                parameter: value,
+                "proc util": round(solved.processor_utilization, 4),
+                "net util": round(solved.network_utilization, 4),
+                "miss latency (ns)": round(solved.shared_miss_latency_ns, 1),
+                "upgrade latency (ns)": round(solved.upgrade_latency_ns, 1),
             }
         )
     return rows

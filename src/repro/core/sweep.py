@@ -21,6 +21,7 @@ __all__ = [
     "ring_vs_bus",
     "miss_breakdown",
     "figure3_panels",
+    "design_surface",
     "FIG3_BENCHMARKS",
     "FIG4_BENCHMARKS",
     "FIG6_BENCHMARKS",
@@ -54,12 +55,15 @@ def snooping_vs_directory(
     config: Optional[SystemConfig] = None,
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
+    use_grid: Optional[bool] = None,
 ) -> List[SweepResult]:
     """The two curves of one Figure 3/4 panel (snooping, directory).
 
     ``jobs > 1`` runs the two underlying trace-driven extractions in
     parallel worker processes; the model sweeps (milliseconds) stay in
     the parent.  Results are bit-identical to the serial path.
+    ``use_grid=True`` runs the model half on the vectorized grid
+    engine (also bit-identical; needs NumPy).
     """
     protocols = (Protocol.SNOOPING, Protocol.DIRECTORY)
     points = [
@@ -80,6 +84,7 @@ def snooping_vs_directory(
             protocol,
             config=config,
             cycles_ns=cycles_ns,
+            use_grid=use_grid,
         )
         for protocol, simulated in zip(protocols, report.results)
     ]
@@ -91,6 +96,7 @@ def figure3_panels(
     cycles_ns: Optional[Sequence[float]] = None,
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
+    use_grid: Optional[bool] = None,
 ) -> "Tuple[Dict[Tuple[str, int], List[SweepResult]], SweepReport]":
     """Every snooping-vs-directory panel of a Figure 3/4-style grid.
 
@@ -112,7 +118,11 @@ def figure3_panels(
     for name, procs in panels:
         grid[(name, procs)] = [
             sweep_from_result(
-                next(results), procs, protocol, cycles_ns=cycles_ns
+                next(results),
+                procs,
+                protocol,
+                cycles_ns=cycles_ns,
+                use_grid=use_grid,
             )
             for protocol in protocols
         ]
@@ -128,6 +138,7 @@ def ring_vs_bus(
     bus_clocks_mhz: Sequence[float] = (100.0, 50.0),
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
+    use_grid: Optional[bool] = None,
 ) -> List[SweepResult]:
     """The four curves of one Figure 6 panel.
 
@@ -171,9 +182,55 @@ def ring_vs_bus(
             protocol,
             config=config,
             cycles_ns=cycles_ns,
+            use_grid=use_grid,
         )
         for (protocol, config), simulated in zip(curves, report.results)
     ]
+
+
+def design_surface(
+    benchmark: str,
+    num_processors: int,
+    protocol: Protocol = Protocol.SNOOPING,
+    parameters: Optional[Dict[str, Sequence[int]]] = None,
+    cycles_ns: Optional[Sequence[float]] = None,
+    data_refs: int = DEFAULT_DATA_REFS,
+    config: Optional[SystemConfig] = None,
+):
+    """A whole analytic design surface from one trace extraction.
+
+    Crosses every ``parameters`` axis (names from
+    ``repro.core.sensitivity.SUPPORTED_PARAMETERS``) with the processor
+    cycle sweep and solves all of it in one vectorized pass -- the
+    grid-engine workload the scalar models would need thousands of
+    separate solves for.  Returns the
+    :class:`repro.models.grid.GridSolution`; reshape any metric with
+    ``solution.surface(...)``.  Needs NumPy (raises ImportError before
+    running the extraction when it is unavailable).
+    """
+    from repro.core.hybrid import _target_config, extraction_point
+    from repro.models import grid as grid_engine
+
+    grid_engine.require_numpy()  # fail fast before the extraction run
+    point = extraction_point(
+        benchmark, num_processors, protocol, config=config, data_refs=data_refs
+    )
+    simulated = run_simulation_cached(
+        benchmark,
+        num_processors,
+        point.protocol,
+        data_refs=data_refs,
+        config=point.config,
+    )
+    base = _target_config(num_processors, protocol, config)
+    grid = grid_engine.ModelGrid.from_product(
+        grid_engine.family_for_protocol(protocol),
+        base,
+        simulated.inputs,
+        cycles_ns=cycles_ns,
+        parameters=parameters,
+    )
+    return grid_engine.solve_grid(grid)
 
 
 def miss_breakdown(

@@ -1,4 +1,10 @@
-"""Analytical models: the fast half of the hybrid methodology."""
+"""Analytical models: the fast half of the hybrid methodology.
+
+The scalar models below import eagerly and stay dependency-free.  The
+vectorized grid engine (``repro.models.grid``) needs NumPy, so its
+names are re-exported lazily via module ``__getattr__`` -- importing
+``repro.models`` never pulls in NumPy.
+"""
 
 from repro.models.base import (
     FixedPointDiverged,
@@ -56,4 +62,37 @@ __all__ = [
     "TABLE3_WIDTHS",
     "snoop_interarrival_ns",
     "snoop_rate_table",
+    # Lazy re-exports from repro.models.grid (need NumPy to *use*,
+    # not to import this package -- see __getattr__ below).
+    "ModelGrid",
+    "GridSolution",
+    "solve_grid",
+    "grid_sweep",
+    "grid_available",
+    "GRID_STATS",
+    "reset_grid_stats",
+    "matching_bus_clock_grid",
 ]
+
+_GRID_EXPORTS = frozenset(
+    (
+        "ModelGrid",
+        "GridSolution",
+        "solve_grid",
+        "grid_sweep",
+        "grid_available",
+        "GRID_STATS",
+        "reset_grid_stats",
+        "matching_bus_clock_grid",
+    )
+)
+
+
+def __getattr__(name: str):
+    if name in _GRID_EXPORTS:
+        from repro.models import grid
+
+        return getattr(grid, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

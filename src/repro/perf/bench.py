@@ -7,7 +7,9 @@ Two suites cover the hot paths of the reproduction:
   large-machine configuration where the scheduler fast path matters
   most;
 * ``models`` -- analytical-model fixed-point sweeps (the accelerated
-  solver of :mod:`repro.models.base`).
+  solver of :mod:`repro.models.base`), plus -- when NumPy is
+  available -- the vectorized grid engine (``grid.solve``, gated on
+  its ``grid_evals`` counter).
 
 Every workload reports wall-clock seconds *and* deterministic work
 counters (kernel events processed, model evaluations).  Only the
@@ -230,6 +232,36 @@ def _models_workloads(quick: bool):
 
     yield "matching.table4", matching
 
+    from repro.models import grid as grid_engine
+
+    if grid_engine.grid_available():
+        # The vectorized engine's counters are deterministic too: the
+        # same grid always takes the same number of vectorized
+        # residual evaluations (each counted once however many points
+        # it covers), so eval growth gates algorithmic regressions in
+        # the masked solver exactly like model_evals does for the
+        # scalar one.
+        def grid_solve() -> Dict[str, int]:
+            clock_step = 200 if quick else 50
+            clocks = list(range(1_000, 6_000, clock_step))
+            config = SystemConfig(
+                num_processors=_EXTRACTION_PROCESSORS,
+                protocol=Protocol.SNOOPING,
+            )
+            grid_engine.reset_grid_stats()
+            grid = grid_engine.ModelGrid.from_product(
+                "ring_snooping",
+                config,
+                snoop.inputs,
+                parameters={"ring_clock_ps": clocks},
+            )
+            solution = grid_engine.solve_grid(grid)
+            counters = dict(grid_engine.GRID_STATS)
+            counters["points"] = solution.size
+            return counters
+
+        yield "grid.solve", grid_solve, ("grid_evals",)
+
 
 _SUITES = {
     "kernel": (_kernel_workloads, ("events_processed",)),
@@ -250,12 +282,19 @@ def run_suite(suite: str, quick: bool = False) -> BenchReport:
             f"unknown suite {suite!r} (choose from {', '.join(_SUITES)})"
         ) from None
     report = BenchReport(suite=suite, mode="quick" if quick else "full")
-    for name, run in workloads(quick):
+    for entry in workloads(quick):
+        # Workloads yield (name, run) to take the suite's default gate
+        # or (name, run, gate) to override it (e.g. grid.solve gates
+        # grid_evals, not model_evals).
+        name, run = entry[0], entry[1]
+        workload_gate = entry[2] if len(entry) > 2 else gate
         start = time.perf_counter()
         counters = run()
         wall = time.perf_counter() - start
         report.workloads.append(
-            WorkloadResult(name=name, wall_s=wall, counters=counters, gate=gate)
+            WorkloadResult(
+                name=name, wall_s=wall, counters=counters, gate=workload_gate
+            )
         )
     return report
 
@@ -318,6 +357,14 @@ def check_against_baseline(
     for name, entry in recorded.items():
         workload = current.get(name)
         if workload is None:
+            if name == "grid.solve":
+                from repro.models.grid import grid_available
+
+                if not grid_available():
+                    # Baselines are generated with NumPy present; a
+                    # scalar-only environment legitimately skips the
+                    # grid workload (and only that one).
+                    continue
             problems.append(f"{name}: workload missing from this run")
             continue
         for counter in entry.get("gate", []):

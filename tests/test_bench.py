@@ -19,9 +19,19 @@ def test_models_suite_reports_deterministic_counters(tmp_path):
         w.counters for w in second.workloads
     ]
     for workload in first.workloads:
-        assert workload.gate == ("model_evals",)
-        assert workload.counters["model_evals"] > 0
+        if workload.name == "grid.solve":
+            # The vectorized engine gates its own counter.
+            assert workload.gate == ("grid_evals",)
+            assert workload.counters["grid_evals"] > 0
+            assert workload.counters["points_failed"] == 0
+        else:
+            assert workload.gate == ("model_evals",)
+            assert workload.counters["model_evals"] > 0
         assert all(name in workload.counters for name in workload.gate)
+
+    from repro.models.grid import grid_available
+
+    assert ("grid.solve" in names) == grid_available()
 
     # Round trip through the baseline file format.
     path = bench.write_baseline(first, tmp_path)

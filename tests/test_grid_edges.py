@@ -1,0 +1,198 @@
+"""Convergence-mask edge cases for the grid engine.
+
+The masked solver's one job beyond speed: a lane that cannot converge
+must end as an isolated NaN (counted in ``points_failed``) without
+perturbing any other lane -- neighbours still match the scalar oracle
+bit for bit, and warm-start chains reseed past a failed column instead
+of propagating the poison.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import math
+import pathlib
+from dataclasses import replace
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.config import Protocol, SystemConfig
+from repro.core.metrics import MissClass
+from repro.models import grid as grid_engine
+from repro.models.base import FixedPointDiverged
+from repro.models.ring_snooping import SnoopingRingModel
+
+
+def _oracle_helpers():
+    """Load test_grid_models.py for its shared oracle helpers (the
+    tests directory is not an importable package)."""
+    spec = importlib.util.spec_from_file_location(
+        "grid_oracle", pathlib.Path(__file__).parent / "test_grid_models.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_helpers = _oracle_helpers()
+_assert_matches = _helpers._assert_matches
+_make_inputs = _helpers._make_inputs
+
+pytestmark = pytest.mark.skipif(
+    not grid_engine.grid_available(), reason="grid engine disabled"
+)
+
+PROTOCOL = Protocol.SNOOPING
+
+
+def _poisoned_inputs(value: float):
+    inputs = _make_inputs(PROTOCOL, 8)
+    f_miss = dict(inputs.f_miss)
+    f_miss[MissClass.REMOTE_CLEAN] = value
+    return replace(inputs, f_miss=f_miss)
+
+
+def test_nan_input_fails_fast_without_poisoning_neighbours():
+    config = SystemConfig(num_processors=8, protocol=PROTOCOL)
+    good = _make_inputs(PROTOCOL, 8)
+    points = [
+        (config, good, 5_000),
+        (config, _poisoned_inputs(float("nan")), 5_000),
+        (config, good, 20_000),
+    ]
+    grid_engine.reset_grid_stats()
+    solution = grid_engine.solve_grid(
+        grid_engine.ModelGrid.from_points("ring_snooping", points)
+    )
+
+    assert list(solution.failed) == [False, True, False]
+    assert list(solution.converged) == [True, False, True]
+    assert grid_engine.GRID_STATS["points_failed"] == 1
+    assert grid_engine.GRID_STATS["points_converged"] == 2
+
+    # Every metric of the failed lane is NaN -- no half-populated rows.
+    broken = solution.operating_point(1)
+    for name in (
+        "processor_utilization",
+        "network_utilization",
+        "shared_miss_latency_ns",
+        "upgrade_latency_ns",
+        "time_per_instruction_ps",
+    ):
+        assert math.isnan(getattr(broken, name)), name
+
+    # The neighbours still match the scalar oracle exactly.
+    model = SnoopingRingModel(config, good)
+    _assert_matches(solution.operating_point(0), model.solve(5_000))
+    _assert_matches(solution.operating_point(2), model.solve(20_000))
+
+
+def test_divergent_lane_is_isolated_where_scalar_raises():
+    """Documented deviation: an un-bracketable lane (here an infinite
+    miss frequency, so the residual never goes negative) makes the
+    scalar solver raise FixedPointDiverged; the grid marks just that
+    lane failed so the other 10^5-1 points still solve."""
+    config = SystemConfig(num_processors=8, protocol=PROTOCOL)
+    good = _make_inputs(PROTOCOL, 8)
+    divergent = _poisoned_inputs(float("inf"))
+
+    with pytest.raises(FixedPointDiverged):
+        SnoopingRingModel(config, divergent).solve(5_000)
+
+    solution = grid_engine.solve_grid(
+        grid_engine.ModelGrid.from_points(
+            "ring_snooping",
+            [(config, good, 5_000), (config, divergent, 5_000)],
+        )
+    )
+    assert list(solution.failed) == [False, True]
+    assert math.isnan(float(solution.time_per_instruction_ps[1]))
+    _assert_matches(
+        solution.operating_point(0),
+        SnoopingRingModel(config, good).solve(5_000),
+    )
+
+
+def test_poisoned_chain_column_reseeds_later_positions():
+    """A failed first column must not drag its warm-start chain down:
+    the next column reseeds from the default bracket (exactly a cold
+    scalar solve) and the chain then warm-starts normally, while the
+    sibling chain is untouched end to end."""
+    config = SystemConfig(num_processors=8, protocol=PROTOCOL)
+    inputs = _make_inputs(PROTOCOL, 8)
+    cycles = [2.0, 5.0, 10.0, 20.0]
+    clocks = [2_000, 4_000]
+
+    def build():
+        return grid_engine.ModelGrid.from_product(
+            "ring_snooping",
+            config,
+            inputs,
+            cycles_ns=cycles,
+            parameters={"ring_clock_ps": clocks},
+        )
+
+    clean = grid_engine.solve_grid(build())
+    assert clean.n_failed == 0
+
+    poisoned_grid = build()
+    # Lane 0 = (first clock, first cycle): break its chain head.
+    poisoned_grid.arrays["f_remote_clean"][0] = float("nan")
+    solution = grid_engine.solve_grid(poisoned_grid)
+
+    n_cycles = len(cycles)
+    assert solution.n_failed == 1
+    assert bool(solution.failed[0])
+    assert math.isnan(float(solution.time_per_instruction_ps[0]))
+
+    # Chain 0, later columns: position 1 solves cold (default seed,
+    # like scalar solve() with no guess), positions 2+ warm-start from
+    # the recovering chain -- replicate that seeding scalar-side.
+    chain_config = replace(
+        config, ring=replace(config.ring, clock_ps=clocks[0])
+    )
+    model = SnoopingRingModel(chain_config, inputs)
+    guess = None
+    for position in range(1, n_cycles):
+        oracle = model.solve(
+            round(cycles[position] * 1000), initial_guess_ps=guess
+        )
+        _assert_matches(
+            solution.operating_point(position),
+            oracle,
+            where=f"chain 0 position {position}",
+        )
+        guess = oracle.time_per_instruction_ps
+
+    # Chain 1 is bit-identical to the unpoisoned solve.
+    lanes = slice(n_cycles, 2 * n_cycles)
+    assert np.array_equal(
+        solution.time_per_instruction_ps[lanes],
+        clean.time_per_instruction_ps[lanes],
+    )
+
+
+def test_failed_lanes_keep_counters_deterministic():
+    config = SystemConfig(num_processors=8, protocol=PROTOCOL)
+    points = [
+        (config, _make_inputs(PROTOCOL, 8), 5_000),
+        (config, _poisoned_inputs(float("nan")), 5_000),
+        (config, _poisoned_inputs(float("inf")), 5_000),
+    ]
+    grid = grid_engine.ModelGrid.from_points("ring_snooping", points)
+
+    grid_engine.reset_grid_stats()
+    first_solution = grid_engine.solve_grid(grid)
+    first = dict(grid_engine.GRID_STATS)
+    assert first["points_failed"] == 2
+
+    grid_engine.reset_grid_stats()
+    second_solution = grid_engine.solve_grid(grid)
+    assert dict(grid_engine.GRID_STATS) == first
+    assert np.array_equal(
+        first_solution.time_per_instruction_ps,
+        second_solution.time_per_instruction_ps,
+        equal_nan=True,
+    )

@@ -1,0 +1,141 @@
+"""Graceful degradation when NumPy is unavailable.
+
+``REPRO_NO_NUMPY=1`` makes :func:`repro.models.grid.require_numpy`
+raise even with NumPy installed, so the scalar-only environment (the
+CI leg installing with ``--no-deps``) can be rehearsed anywhere.  The
+contract: every grid entry point raises a clear ImportError, every
+scalar path keeps working, and the opt-in layers (sweeps, bench, CLI,
+sensitivity) fall back or fail fast instead of crashing mid-run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.core.config import Protocol, SystemConfig
+from repro.models import grid as grid_engine
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+
+
+def _make_inputs(protocol, processors):
+    spec = importlib.util.spec_from_file_location(
+        "grid_oracle", pathlib.Path(__file__).parent / "test_grid_models.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module._make_inputs(protocol, processors)
+
+
+class _FakeResult:
+    """Stands in for a SimulationResult where only .inputs is used."""
+
+    def __init__(self, inputs):
+        self.inputs = inputs
+
+
+def test_grid_engine_reports_unavailable(no_numpy):
+    assert not grid_engine.grid_available()
+    with pytest.raises(ImportError, match="REPRO_NO_NUMPY"):
+        grid_engine.require_numpy()
+
+
+def test_grid_constructors_raise_import_error(no_numpy):
+    config = SystemConfig(num_processors=4)
+    inputs = _make_inputs(Protocol.SNOOPING, 4)
+    with pytest.raises(ImportError):
+        grid_engine.ModelGrid.from_points(
+            "ring_snooping", [(config, inputs, 5_000)]
+        )
+    with pytest.raises(ImportError):
+        grid_engine.ModelGrid.from_product("ring_snooping", config, inputs)
+    with pytest.raises(ImportError):
+        grid_engine.snoop_interarrival_grid(32, 32)
+
+
+def test_sweep_from_result_falls_back_and_fails_fast(no_numpy):
+    from repro.core.hybrid import sweep_from_result
+
+    inputs = _make_inputs(Protocol.SNOOPING, 4)
+    simulated = _FakeResult(inputs)
+
+    # Explicit opt-in without NumPy: a clear error, not a crash later.
+    with pytest.raises(ImportError):
+        sweep_from_result(
+            simulated, 4, Protocol.SNOOPING, cycles_ns=[10.0], use_grid=True
+        )
+    # Default and explicit scalar paths keep working.
+    for use_grid in (None, False):
+        sweep = sweep_from_result(
+            simulated,
+            4,
+            Protocol.SNOOPING,
+            cycles_ns=[10.0, 20.0],
+            use_grid=use_grid,
+        )
+        assert len(sweep.points) == 2
+
+
+def test_lazy_package_exports_resolve_without_numpy(no_numpy):
+    import repro.models
+
+    # The package import graph never touches NumPy; the lazy grid
+    # re-exports resolve (grid_available is callable anywhere) and
+    # unknown names still fail normally.
+    assert repro.models.grid_available() is False
+    assert repro.models.GRID_STATS is grid_engine.GRID_STATS
+    with pytest.raises(AttributeError):
+        repro.models.not_a_model
+
+
+def test_bench_suite_omits_grid_workload(no_numpy):
+    from repro.perf import bench
+
+    report = bench.run_suite("models", quick=True)
+    names = [workload.name for workload in report.workloads]
+    assert "grid.solve" not in names
+    assert "sweep.snooping" in names
+
+    # A baseline recorded *with* NumPy still gates cleanly: the grid
+    # workload is the one legitimate skip, everything else compares.
+    with_grid = bench.BenchReport(
+        suite="models", mode="quick", workloads=list(report.workloads)
+    )
+    with_grid.workloads.append(
+        bench.WorkloadResult(
+            name="grid.solve",
+            wall_s=0.01,
+            counters={"grid_evals": 100},
+            gate=("grid_evals",),
+        )
+    )
+    assert bench.check_against_baseline(
+        report, with_grid.to_jsonable()
+    ) == []
+
+
+def test_cli_grid_command_degrades_with_exit_code(no_numpy, capsys):
+    from repro.cli import main
+
+    assert main(["grid", "mp3d"]) == 2
+    assert "grid engine unavailable" in capsys.readouterr().err
+
+
+def test_model_sensitivity_sweep_uses_scalar_path(no_numpy):
+    from repro.core.sensitivity import model_sensitivity_sweep
+
+    rows = model_sensitivity_sweep(
+        "mp3d",
+        4,
+        "ring_clock_ps",
+        [2_000, 4_000],
+        data_refs=600,
+    )  # use_grid defaults to grid_available() -> False here
+    assert len(rows) == 2
+    assert rows[1]["miss latency (ns)"] > rows[0]["miss latency (ns)"]

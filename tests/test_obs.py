@@ -204,9 +204,11 @@ def test_chrome_trace_roundtrips_and_orders_timestamps(tmp_path):
 # ----------------------------------------------------------------------
 # Hot-path modules never import an observer package at module level
 # (repro.obs = tracing/histograms, repro.check = invariant monitor);
-# both attach through duck-typed kernel attributes instead.
+# both attach through duck-typed kernel attributes instead.  numpy is
+# in the same list: the simulation kernel must stay importable and
+# fast without it (only repro.models.grid may use it, lazily).
 # ----------------------------------------------------------------------
-OBSERVER_PACKAGES = ("repro.obs", "repro.check")
+OBSERVER_PACKAGES = ("repro.obs", "repro.check", "numpy")
 
 HOT_PATH_MODULES = (
     "sim/kernel.py",

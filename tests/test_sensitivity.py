@@ -6,6 +6,7 @@ from repro.core.config import Protocol, SystemConfig
 from repro.core.sensitivity import (
     SUPPORTED_PARAMETERS,
     apply_parameter,
+    model_sensitivity_sweep,
     sensitivity_sweep,
 )
 
@@ -17,6 +18,10 @@ def test_supported_parameter_names():
         "ring_width_bits",
         "ring_clock_ps",
         "block_size",
+        "num_processors",
+        "bus_clock_ps",
+        "cache_response_ps",
+        "directory_lookup_ps",
     }
 
 
@@ -80,3 +85,47 @@ def test_ring_width_sweep_lowers_utilization():
     )
     narrow, wide = rows
     assert wide["net util"] < narrow["net util"]
+
+
+def test_model_layer_parameter_setters_modify_the_right_field():
+    base = SystemConfig(num_processors=4)
+    assert apply_parameter(base, "num_processors", 16).num_processors == 16
+    assert apply_parameter(base, "bus_clock_ps", 5_000).bus.clock_ps == 5_000
+    assert (
+        apply_parameter(
+            base, "cache_response_ps", 90_000
+        ).memory.cache_response_ps
+        == 90_000
+    )
+    assert (
+        apply_parameter(
+            base, "directory_lookup_ps", 8_000
+        ).memory.directory_lookup_ps
+        == 8_000
+    )
+    assert base.num_processors == 4  # original untouched
+
+
+def test_model_sensitivity_sweep_resolves_values_from_one_extraction():
+    rows = model_sensitivity_sweep(
+        "mp3d",
+        4,
+        "memory_access_ps",
+        [70_000, 280_000],
+        data_refs=1_200,
+        use_grid=False,  # scalar path; grid equality is tested in test_grid_models
+    )
+    fast, slow = rows
+    assert slow["miss latency (ns)"] > fast["miss latency (ns)"]
+    assert slow["proc util"] < fast["proc util"]
+    # The analytic axis can move parameters a re-simulation also
+    # supports, at a fraction of the cost, from the same extraction.
+    sizes = model_sensitivity_sweep(
+        "mp3d",
+        4,
+        "num_processors",
+        [4, 32],
+        data_refs=1_200,
+        use_grid=False,
+    )
+    assert sizes[1]["net util"] > sizes[0]["net util"]
