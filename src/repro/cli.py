@@ -379,6 +379,45 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--seed", type=int, default=1, help="walk seed (default 1)"
     )
+
+    store = commands.add_parser(
+        "store",
+        help="inspect and maintain the persistent result store",
+    )
+    store_verbs = store.add_subparsers(dest="verb", required=True)
+    cleanup = store_verbs.add_parser(
+        "cleanup",
+        help="delete temp files stranded by crashed writers",
+        description=(
+            "Sweep orphaned .tmp-*.json files out of the result store. "
+            "Stores already sweep hour-old orphans every time they "
+            "open; this command forces an immediate sweep."
+        ),
+    )
+    cleanup.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-store directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cleanup.add_argument(
+        "--min-age",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="only remove temp files older than this (default 0: all)",
+    )
+    info = store_verbs.add_parser(
+        "info", help="show the store location and entry count"
+    )
+    info.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-store directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
     return parser
 
 
@@ -386,6 +425,10 @@ def _configure_execution(args: argparse.Namespace) -> None:
     """Apply --cache-dir / --no-cache to the process-wide store."""
     from repro.core.store import configure_result_store
 
+    if args.command == "store":
+        # Maintenance commands open the store themselves (without the
+        # open-time sweep, which would skew their reported counts).
+        return
     cache_dir = getattr(args, "cache_dir", None)
     no_cache = getattr(args, "no_cache", False)
     if cache_dir is not None or no_cache:
@@ -815,12 +858,27 @@ def _command_check(args: argparse.Namespace) -> int:
             )
         if args.emit_trace:
             from repro.obs import Tracer
+            from repro.ring.base import ProtocolError
 
             tracer = Tracer()
             try:
                 counterexample.replay(tracer=tracer)
-            except Exception:
-                pass  # the replay fails by construction
+            except ProtocolError as failure:
+                # The replay fails by construction -- it re-drives the
+                # engine into the violation the explorer found -- but
+                # only a coherence violation is expected here; anything
+                # else (an ImportError, a TypeError from an API drift)
+                # must not be silently swallowed.
+                print(
+                    f"replay reproduced the violation: {failure}",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    "warning: counterexample replay did not reproduce "
+                    "the violation",
+                    file=sys.stderr,
+                )
             tracer.write_jsonl(args.emit_trace)
             print(
                 f"failure trace: {tracer.emitted} events -> "
@@ -840,6 +898,24 @@ def _command_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _command_store(args: argparse.Namespace) -> int:
+    from repro.core.store import ResultStore
+
+    # enabled=False keeps the constructor from running its own
+    # open-time sweep, so the counts reported here are complete.
+    store = ResultStore(args.cache_dir, enabled=False)
+    if args.verb == "cleanup":
+        removed = store.cleanup_stale_tmp(min_age_seconds=args.min_age)
+        print(
+            f"removed {removed} stale temp file(s) from "
+            f"{store.results_dir}"
+        )
+        return 0
+    print(f"store:   {store.directory}")
+    print(f"entries: {store.entry_count()}")
+    return 0
+
+
 _HANDLERS = {
     "simulate": _command_simulate,
     "sweep": _command_sweep,
@@ -851,6 +927,7 @@ _HANDLERS = {
     "benchmarks": _command_benchmarks,
     "bench": _command_bench,
     "check": _command_check,
+    "store": _command_store,
 }
 
 

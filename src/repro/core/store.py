@@ -40,6 +40,7 @@ import json
 import os
 import pathlib
 import tempfile
+import time
 from dataclasses import asdict
 from typing import Any, Dict, Iterator, Optional
 
@@ -64,6 +65,7 @@ from repro.traces.stats import TraceCharacteristics
 
 __all__ = [
     "SCHEMA_VERSION",
+    "STALE_TMP_AGE_SECONDS",
     "ResultStore",
     "config_to_jsonable",
     "config_from_jsonable",
@@ -82,6 +84,12 @@ SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default store directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Age threshold for the temp-file sweep that runs when a store opens.
+#: A temp file this old cannot belong to a live writer (a single
+#: result serialises in milliseconds); anything younger is left alone
+#: so opening a store never races a concurrent ``put``.
+STALE_TMP_AGE_SECONDS = 3600.0
 
 
 def default_store_dir() -> pathlib.Path:
@@ -321,6 +329,11 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        if enabled:
+            # Opening a store is the natural amortisation point for
+            # sweeping temp files stranded by crashed writers; the age
+            # guard keeps this from racing a concurrent live put.
+            self.cleanup_stale_tmp(min_age_seconds=STALE_TMP_AGE_SECONDS)
 
     # ------------------------------------------------------------------
     @property
@@ -412,20 +425,31 @@ class ResultStore:
                     pass
         return removed
 
-    def cleanup_stale_tmp(self) -> int:
+    def cleanup_stale_tmp(self, min_age_seconds: float = 0.0) -> int:
         """Remove orphaned ``.tmp-*.json`` files; returns the count.
 
         :meth:`put` unlinks its temporary file on any failure it can
         see, but a worker killed mid-write (pool shutdown, SIGKILL,
         power loss) leaves the temp file behind.  Stale temps are
         harmless to correctness -- lookups only match ``<key>.json`` --
-        but they accumulate, so sweep executors call this after a
-        failed or interrupted run.
+        but they accumulate, so the sweep runs in three places: sweep
+        executors call it after a failed or interrupted run (no age
+        guard: their workers are known dead), every store open runs it
+        with ``min_age_seconds=STALE_TMP_AGE_SECONDS`` so orphans age
+        out without manual action, and ``repro store cleanup`` forces
+        an immediate sweep from the command line.
+
+        ``min_age_seconds`` skips temp files modified more recently
+        than that many seconds ago, protecting writers that are merely
+        concurrent rather than dead.
         """
         removed = 0
         if self.results_dir.is_dir():
+            cutoff = time.time() - min_age_seconds
             for path in self.results_dir.glob(".tmp-*.json"):
                 try:
+                    if min_age_seconds and path.stat().st_mtime > cutoff:
+                        continue
                     path.unlink()
                     removed += 1
                 except OSError:

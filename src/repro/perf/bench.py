@@ -133,6 +133,17 @@ def _kernel_workloads(quick: bool):
         # The paper's scalability regime: a saturated large snooping
         # ring, where per-revolution polling used to dominate.
         ("simulate.mp3d.snooping.64p", 64, Protocol.SNOOPING, 800 * scale),
+        # Beyond the paper's largest system: rings where per-event
+        # dispatch overhead (generator resumption vs flat tables) is
+        # the dominant simulator cost.  Fewer refs per processor keep
+        # total work bounded; the rings are still fully contended.
+        ("simulate.mp3d.snooping.128p", 128, Protocol.SNOOPING, 300 * scale),
+        (
+            "simulate.mp3d.directory.256p",
+            256,
+            Protocol.DIRECTORY,
+            150 * scale,
+        ),
     ]
     for name, processors, protocol, refs in plans:
         yield name, (

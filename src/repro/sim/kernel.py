@@ -160,26 +160,54 @@ class Relay:
 
 
 class Process:
-    """A running simulation process wrapping a generator body."""
+    """A running simulation process wrapping a generator body.
 
-    __slots__ = ("body", "name", "alive", "result", "_done_event", "_wake_token")
+    ``body`` may also be ``None``: that marks a *flat* state-machine
+    process (see :mod:`repro.sim.flatcore`), which the event loop
+    drives by table dispatch instead of generator resumption.
+    """
 
-    def __init__(self, body: ProcessBody, name: str, sim: "Simulator") -> None:
+    __slots__ = (
+        "body",
+        "name",
+        "alive",
+        "result",
+        "_done_event",
+        "_wake_token",
+        "_sim",
+    )
+
+    def __init__(
+        self, body: Optional[ProcessBody], name: str, sim: "Simulator"
+    ) -> None:
         self.body = body
         self.name = name
         self.alive = True
         self.result: Any = None
-        self._done_event = Event(sim, name=f"done:{name}")
+        #: Completion event, created lazily on first ``done`` access.
+        #: Most processes (every pooled flat machine, every background
+        #: write-back) are never joined, so the eager per-process
+        #: ``Event`` was pure allocation churn.  Laziness is invisible:
+        #: event creation draws no sequence numbers, and firing an
+        #: event nobody waits on schedules nothing.
+        self._done_event: Optional[Event] = None
+        self._sim = sim
         #: Wake-validity token: every heap entry records the token at
         #: scheduling time, and :meth:`kill` bumps it, so a cancelled
-        #: process's pending wakeups become *dead timeouts* that the
-        #: event loop discards lazily at pop time (no heap surgery).
+        #: process's wakeups scheduled *after* the kill (a pending
+        #: event firing late) become dead timeouts discarded at pop.
         self._wake_token = 0
 
     @property
     def done(self) -> Event:
         """Event fired (with the process return value) on termination."""
-        return self._done_event
+        event = self._done_event
+        if event is None:
+            event = self._done_event = Event(self._sim, name=f"done:{self.name}")
+            if not self.alive:
+                # Joined after the fact: resolve immediately.
+                event.succeed(self.result)
+        return event
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.alive else "dead"
@@ -235,6 +263,22 @@ class Simulator:
             tracer.process_spawn(self.now, process.name)
         return process
 
+    def activate(self, process: Process) -> Process:
+        """Start (or restart) an already-constructed process record.
+
+        The flat-core entry point: pooled :class:`~repro.sim.flatcore.
+        FlatProcess` records are reset and re-activated instead of
+        being reallocated per task.  Scheduling behaviour is identical
+        to :meth:`spawn` -- one heap entry at the current time.
+        """
+        process.alive = True
+        self._active_processes += 1
+        self._schedule(self.now, process, None)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.process_spawn(self.now, process.name)
+        return process
+
     def timeout(self, delay: int) -> Timeout:
         """Create a delay request for ``yield`` (delay in picoseconds).
 
@@ -277,21 +321,46 @@ class Simulator:
         )
 
     def kill(self, process: Process) -> None:
-        """Terminate a process without resuming it (lazy cancellation).
+        """Terminate a process without resuming it.
 
-        Any wakeup the process has pending on the heap becomes a *dead
-        timeout*: its recorded wake token no longer matches, so the
-        event loop discards it at pop time without resuming the body
-        (and without O(n) heap surgery now).  The ``done`` event fires
-        with ``None``, exactly as if the body had returned.
+        Wakeups the process already has on the heap are removed
+        eagerly.  Lazy discarding (the wake-token mechanism, still used
+        for event fires that schedule the dead process *after* the
+        kill) is not enough for entries that are already scheduled:
+        popping one advances the clock to its timestamp, so killing a
+        process sleeping far into the future -- in particular one
+        parked on a heap-absorbed :class:`Relay` hop grid, whose entry
+        silently re-arms toward ``final`` -- would drag ``run()``'s
+        finish time and event count to a moment nothing real ever
+        reaches.  Kills are rare (no hot path calls this), so the
+        O(heap) sweep is free in practice.
+
+        The ``done`` event fires with ``None``, exactly as if the body
+        had returned.
         """
         if not process.alive:
             return
         process.alive = False
         process._wake_token += 1
-        process.body.close()
+        if process.body is not None:
+            process.body.close()
+        heap = self._heap
+        pending = sum(1 for entry in heap if entry[3] is process)
+        if pending:
+            # Sweep IN PLACE: run()'s inlined loop drains a local alias
+            # of this list, so rebinding ``self._heap`` to a filtered
+            # copy would leave a mid-run killer popping the stale list
+            # -- the dead process's relay entry would still advance the
+            # clock to its next hop, and anything scheduled through
+            # ``self._schedule`` afterwards would land in a heap the
+            # running loop never reads.
+            self.cancelled_wakes += pending
+            heap[:] = [entry for entry in heap if entry[3] is not process]
+            heapq.heapify(heap)
         self._active_processes -= 1
-        process._done_event.succeed(None)
+        done_event = process._done_event
+        if done_event is not None:
+            done_event.succeed(None)
         tracer = self.tracer
         if tracer is not None:
             tracer.process_finish(self.now, process.name)
@@ -323,13 +392,18 @@ class Simulator:
                 entry = (nxt, seq, token, process, value)
             heapq.heappush(self._heap, entry)
             return
+        if process.body is None:
+            self._flat_dispatch(process, value, token)
+            return
         try:
             request = process.body.send(value)
         except StopIteration as stop:
             process.alive = False
             process.result = stop.value
             self._active_processes -= 1
-            process._done_event.succeed(stop.value)
+            done_event = process._done_event
+            if done_event is not None:
+                done_event.succeed(stop.value)
             tracer = self.tracer
             if tracer is not None:
                 tracer.process_finish(self.now, process.name)
@@ -339,7 +413,7 @@ class Simulator:
         elif isinstance(request, Event):
             request._add_waiter(process)
         elif isinstance(request, Process):
-            request._done_event._add_waiter(process)
+            request.done._add_waiter(process)
         elif isinstance(request, Relay):
             if request.first < self.now:
                 raise SimulationError(
@@ -353,6 +427,59 @@ class Simulator:
                 f"process {process.name!r} yielded unsupported request "
                 f"{request!r}; yield a Timeout, Event or Process"
             )
+
+    def _flat_dispatch(self, process: Process, value: Any, token: int) -> None:
+        """Drive one wakeup of a flat state-machine process.
+
+        Reference implementation of the flat branch inlined in
+        :meth:`run` -- behaviour must stay identical.  Handlers are
+        dispatched by the process's int state until one issues a
+        kernel request (opcode >= 0); ``OP_CONTINUE`` chains states
+        without touching the heap, exactly like straight-line code
+        between two yields of the generator form.
+        """
+        table = process.table
+        op = table[process.state](process, value)
+        while op < 0:
+            op = process.table[process.state](process, None)
+        if op == 0:  # OP_TIMEOUT
+            self._schedule_at(
+                self.now + process.f_delay, token, process, None
+            )
+        elif op == 1:  # OP_EVENT
+            event = process.f_event
+            process.f_event = None
+            event._add_waiter(process)
+        elif op == 2:  # OP_RELAY
+            relay = process.f_relay
+            first = relay.first
+            if first < self.now:
+                raise SimulationError(
+                    f"relay first hop {first} is in the past "
+                    f"(now={self.now})"
+                )
+            self._schedule_at(
+                first,
+                token,
+                process,
+                relay if first < relay.final else None,
+            )
+        else:  # OP_DONE
+            process.alive = False
+            self._active_processes -= 1
+            done_event = process._done_event
+            if done_event is not None:
+                done_event.succeed(process.result)
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.process_finish(self.now, process.name)
+
+    def _schedule_at(
+        self, when: int, token: int, process: Process, value: Any
+    ) -> None:
+        heapq.heappush(
+            self._heap, (when, next(self._sequence), token, process, value)
+        )
 
     def run(self, until: Optional[int] = None) -> int:
         """Run until the event heap drains (or past time ``until``).
@@ -423,13 +550,67 @@ class Simulator:
                             (nxt, next_seq(), token, process, value),
                         )
                     continue
+                body = process.body
+                if body is None:
+                    # Flat state-machine process: indexed table
+                    # dispatch, preallocated request fields, small-int
+                    # opcodes -- no request objects, no generator
+                    # frame, no StopIteration control flow.
+                    op = process.table[process.state](process, value)
+                    while op < 0:  # OP_CONTINUE: chain states inline
+                        op = process.table[process.state](process, None)
+                    if op == 0:  # OP_TIMEOUT
+                        heappush(
+                            heap,
+                            (
+                                now + process.f_delay,
+                                next_seq(),
+                                token,
+                                process,
+                                None,
+                            ),
+                        )
+                    elif op == 1:  # OP_EVENT
+                        event = process.f_event
+                        process.f_event = None
+                        event._add_waiter(process)
+                    elif op == 2:  # OP_RELAY
+                        relay = process.f_relay
+                        first = relay.first
+                        if first < now:
+                            raise SimulationError(
+                                f"relay first hop {first} is in the past "
+                                f"(now={now})"
+                            )
+                        heappush(
+                            heap,
+                            (
+                                first,
+                                next_seq(),
+                                token,
+                                process,
+                                relay if first < relay.final else None,
+                            ),
+                        )
+                    else:  # OP_DONE
+                        process.alive = False
+                        self._active_processes -= 1
+                        done_event = process._done_event
+                        if done_event is not None:
+                            done_event.succeed(process.result)
+                        tracer = self.tracer
+                        if tracer is not None:
+                            tracer.process_finish(now, process.name)
+                    continue
                 try:
-                    request = process.body.send(value)
+                    request = body.send(value)
                 except StopIteration as stop:
                     process.alive = False
                     process.result = stop.value
                     self._active_processes -= 1
-                    process._done_event.succeed(stop.value)
+                    done_event = process._done_event
+                    if done_event is not None:
+                        done_event.succeed(stop.value)
                     tracer = self.tracer
                     if tracer is not None:
                         tracer.process_finish(now, process.name)
@@ -466,7 +647,7 @@ class Simulator:
                         ),
                     )
                 elif request_type is Process:
-                    request._done_event._add_waiter(process)
+                    request.done._add_waiter(process)
                 elif isinstance(request, Timeout):
                     self._schedule(now + request.delay, process, None)
                 elif isinstance(request, Event):
@@ -475,7 +656,7 @@ class Simulator:
                     value = None if request.first >= request.final else request
                     self._schedule(request.first, process, value)
                 elif isinstance(request, Process):
-                    request._done_event._add_waiter(process)
+                    request.done._add_waiter(process)
                 else:
                     raise SimulationError(
                         f"process {process.name!r} yielded unsupported "

@@ -166,3 +166,69 @@ def test_simulate_with_invariant_checking(capsys):
     )
     assert code == 0
     assert "processor utilization" in out
+
+
+def test_check_explore_emit_trace_reports_replay_outcome(
+    capsys, tmp_path, monkeypatch
+):
+    """The --emit-trace replay handler distinguishes the expected
+    coherence violation (reported, not swallowed) from a replay that
+    unexpectedly passes (warned about) -- and re-raises anything else."""
+    from repro import check
+    from repro.check.invariants import InvariantViolation
+
+    class FakeCounterexample:
+        def __init__(self, violates):
+            self.violates = violates
+
+        def replay(self, tracer=None):
+            if self.violates:
+                raise InvariantViolation("swmr", "two writers (stub)")
+
+    class FakeReport:
+        ok = False
+
+        def __init__(self, violates):
+            self.counterexample = FakeCounterexample(violates)
+
+        def summary(self):
+            return "1 violation (stub)"
+
+    trace = tmp_path / "failure.jsonl"
+    argv = [
+        "check",
+        "explore",
+        "--protocol",
+        "snooping",
+        "--nodes",
+        "2",
+        "--lines",
+        "1",
+        "--emit-trace",
+        str(trace),
+    ]
+
+    monkeypatch.setattr(check, "explore", lambda *a, **k: FakeReport(True))
+    code = main(argv)
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "replay reproduced the violation" in err
+    assert trace.exists()
+
+    monkeypatch.setattr(check, "explore", lambda *a, **k: FakeReport(False))
+    code = main(argv)
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "did not reproduce" in err
+
+    class Unexpected(RuntimeError):
+        pass
+
+    def broken_replay(tracer=None):
+        raise Unexpected("API drift")
+
+    report = FakeReport(True)
+    report.counterexample.replay = broken_replay
+    monkeypatch.setattr(check, "explore", lambda *a, **k: report)
+    with pytest.raises(Unexpected):
+        main(argv)

@@ -28,7 +28,9 @@ from repro.core.experiment import (
 )
 from repro.core.parallel import SweepPoint, execute_points
 from repro.core.store import result_to_jsonable
+from repro.obs import Tracer
 from repro.ring.scheduler import fastpath_enabled
+from repro.sim.flatcore import flatcore_enabled
 
 REFS = 300
 
@@ -105,6 +107,102 @@ def test_serial_parallel_cached_and_fastpath_all_bit_identical(
     monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
     _, counters = _serial_run(contended)
     assert counters["relay_hops"] > 0
+
+
+def test_flatcore_toggle_reads_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_FLATCORE", raising=False)
+    assert flatcore_enabled()
+    monkeypatch.setenv("REPRO_NO_FLATCORE", "1")
+    assert not flatcore_enabled()
+
+
+# ----------------------------------------------------------------------
+# Flat-core x fast-path matrix: the flat state-machine dispatch and the
+# relay fast path are independent optimisations, so every combination
+# of the two toggles must produce the same bits -- including telemetry
+# event streams and with per-commit invariant checking enabled.
+# ----------------------------------------------------------------------
+MATRIX = [
+    pytest.param(False, False, id="flat+fastpath"),
+    pytest.param(False, True, id="flat+reference"),
+    pytest.param(True, False, id="coroutine+fastpath"),
+    pytest.param(True, True, id="coroutine+reference"),
+]
+
+#: Baseline (both optimisations on) per protocol, computed lazily so
+#: each parametrized case compares against one shared reference run.
+_matrix_baseline: dict = {}
+
+
+def _toggled_run(point, no_flatcore, no_fastpath, monkeypatch):
+    if no_flatcore:
+        monkeypatch.setenv("REPRO_NO_FLATCORE", "1")
+    else:
+        monkeypatch.delenv("REPRO_NO_FLATCORE", raising=False)
+    if no_fastpath:
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+    else:
+        monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    tracer = Tracer()
+    result = run_simulation(
+        point.benchmark,
+        config=point.resolved_config(),
+        data_refs=point.data_refs,
+        num_processors=point.num_processors,
+        tracer=tracer,
+        check_invariants=True,
+    )
+    return result_to_jsonable(result), tracer.events()
+
+
+@pytest.mark.parametrize("no_flatcore,no_fastpath", MATRIX)
+@pytest.mark.parametrize(
+    "protocol",
+    [
+        Protocol.SNOOPING,
+        Protocol.DIRECTORY,
+        Protocol.LINKED_LIST,
+        Protocol.BUS,
+        Protocol.HIERARCHICAL,
+    ],
+)
+def test_flatcore_fastpath_matrix_bit_identical(
+    protocol, no_flatcore, no_fastpath, monkeypatch
+):
+    processors = 16 if protocol is Protocol.SNOOPING else 4
+    point = SweepPoint("mp3d", processors, protocol, REFS)
+    baseline = _matrix_baseline.get(protocol)
+    if baseline is None:
+        baseline = _matrix_baseline[protocol] = _toggled_run(
+            point, False, False, monkeypatch
+        )
+    got = _toggled_run(point, no_flatcore, no_fastpath, monkeypatch)
+    assert got[0] == baseline[0], (
+        f"results diverged for {protocol.value} with "
+        f"NO_FLATCORE={no_flatcore} NO_FASTPATH={no_fastpath}"
+    )
+    assert got[1] == baseline[1], (
+        f"telemetry diverged for {protocol.value} with "
+        f"NO_FLATCORE={no_flatcore} NO_FASTPATH={no_fastpath}"
+    )
+
+
+def test_flat_engines_skip_generator_resumes(monkeypatch):
+    """The flat core is live by default: a snooping run spawns flat
+    machines (no per-transaction generators), and the coroutine
+    fallback reproduces the same bits while doing the same event
+    work (event counts line up one-to-one across the toggle)."""
+    point = SweepPoint("mp3d", 8, Protocol.SNOOPING, REFS)
+    monkeypatch.delenv("REPRO_NO_FLATCORE", raising=False)
+    monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    flat_result, flat_counters = _serial_run(point)
+    monkeypatch.setenv("REPRO_NO_FLATCORE", "1")
+    coro_result, coro_counters = _serial_run(point)
+    assert result_to_jsonable(flat_result) == result_to_jsonable(coro_result)
+    assert (
+        flat_counters["events_processed"]
+        == coro_counters["events_processed"]
+    )
 
 
 @pytest.mark.parametrize("protocol", [Protocol.SNOOPING, Protocol.DIRECTORY])

@@ -213,8 +213,12 @@ OBSERVER_PACKAGES = ("repro.obs", "repro.check", "numpy")
 HOT_PATH_MODULES = (
     "sim/kernel.py",
     "sim/queues.py",
+    "sim/flatcore.py",
     "ring/base.py",
     "ring/scheduler.py",
+    "ring/flatring.py",
+    "ring/flatsnooping.py",
+    "ring/flatdirectory.py",
     "ring/snooping.py",
     "ring/directory.py",
     "ring/linkedlist.py",

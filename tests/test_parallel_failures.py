@@ -93,3 +93,64 @@ def test_successful_sweep_leaves_store_config_restored(temp_store, tmp_path):
 
     execute_points([GOOD], jobs=1, cache_dir=tmp_path)
     assert get_result_store() is temp_store
+
+
+def test_store_open_sweeps_aged_tmp_files(tmp_path):
+    """Opening a store GCs orphans older than the age guard, but never
+    touches young temp files that may belong to a live writer."""
+    import os
+
+    from repro.core.store import STALE_TMP_AGE_SECONDS, ResultStore
+
+    results = tmp_path / "results"
+    results.mkdir(parents=True)
+    old = results / ".tmp-old.json"
+    young = results / ".tmp-young.json"
+    old.write_text("{}")
+    young.write_text("{}")
+    ancient = old.stat().st_mtime - (STALE_TMP_AGE_SECONDS + 60)
+    os.utime(old, (ancient, ancient))
+
+    ResultStore(tmp_path)
+    assert not old.exists()
+    assert young.exists()
+
+    # A disabled store is inert: it must not mutate the directory.
+    (results / ".tmp-old2.json").write_text("{}")
+    os.utime(results / ".tmp-old2.json", (ancient, ancient))
+    ResultStore(tmp_path, enabled=False)
+    assert (results / ".tmp-old2.json").exists()
+
+
+def test_store_cleanup_cli(tmp_path, capsys):
+    import os
+
+    from repro.cli import main
+
+    results = tmp_path / "results"
+    results.mkdir(parents=True)
+    old = results / ".tmp-a.json"
+    young = results / ".tmp-b.json"
+    old.write_text("{}")
+    young.write_text("{}")
+    past = old.stat().st_mtime - 7200
+    os.utime(old, (past, past))
+
+    code = main(
+        ["store", "cleanup", "--cache-dir", str(tmp_path), "--min-age", "3600"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "removed 1 stale temp file(s)" in out
+    assert not old.exists() and young.exists()
+
+    code = main(["store", "cleanup", "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "removed 1 stale temp file(s)" in out
+    assert not young.exists()
+
+    code = main(["store", "info", "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "entries: 0" in out

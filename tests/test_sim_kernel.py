@@ -360,3 +360,62 @@ def test_run_until_in_the_past_raises(sim):
     # The failed call must not have corrupted the clock or the heap.
     assert sim.now == 3_000
     assert sim.run() == 4_000
+
+
+def test_kill_relay_sleeping_process_mid_simulation(sim):
+    """Killing a process parked on a heap-absorbed Relay hop grid must
+    sweep its scheduled entry eagerly.  The relay re-arms itself toward
+    ``final`` on every pop without consulting the process, so lazy
+    wake-token discarding alone would let a dead process's relay drag
+    the finish time (and event count) out to a moment nothing real
+    ever reaches."""
+    from repro.sim.kernel import Relay
+
+    woke = []
+
+    def sleeper():
+        # Hop every 1000 ps until the far future.
+        yield Relay(1_000, 1_000, 1_000_000)
+        woke.append(sim.now)
+
+    def killer(victim):
+        yield sim.timeout(2_500)
+        sim.kill(victim)
+
+    victim = sim.spawn(sleeper(), name="sleeper")
+    sim.spawn(killer(victim), name="killer")
+    finish = sim.run()
+
+    assert woke == []
+    assert not victim.alive
+    # The clock stops at the kill, not at the relay's final hop.
+    assert finish == 2_500
+    assert sim.now == 2_500
+    # The swept relay entry is accounted as a cancelled wake.
+    assert sim.cancelled_wakes >= 1
+    # The victim's completion event fired as if the body had returned.
+    assert victim.done.fired
+
+
+def test_kill_is_idempotent_and_spares_other_processes(sim):
+    log = []
+
+    def sleeper():
+        yield sim.timeout(50_000)
+        log.append("sleeper")
+
+    def worker():
+        yield sim.timeout(4_000)
+        log.append("worker")
+
+    victim = sim.spawn(sleeper(), name="victim")
+    sim.spawn(worker(), name="worker")
+
+    def killer():
+        yield sim.timeout(1_000)
+        sim.kill(victim)
+        sim.kill(victim)  # second kill is a no-op
+
+    sim.spawn(killer(), name="killer")
+    assert sim.run() == 4_000
+    assert log == ["worker"]
