@@ -3,9 +3,13 @@
 Three layers, one oracle (:mod:`repro.check.invariants`):
 
 * :mod:`repro.check.explorer` -- exhaustive BFS over the quiescent
-  state space of tiny configurations; minimal counterexamples.
+  state space of small configurations; symmetry-reduced
+  (:mod:`repro.check.symmetry`), parallelisable, resumable through
+  the result store, with minimal counterexamples.
 * :mod:`repro.check.fuzz` -- seeded random walks over mid-size
-  configurations, bit-identical replay from (seed, step).
+  configurations, bit-identical replay from (seed, step);
+  :func:`~repro.check.fuzz.fuzz_many` shards independent seeds
+  across the process pool.
 * :mod:`repro.check.monitor` -- opt-in runtime checker attached to a
   full simulation via ``Simulator.monitor`` (same duck-typed hook
   pattern as ``Simulator.tracer``; hot paths never import this
@@ -16,7 +20,7 @@ catalogue.
 """
 
 from repro.check.explorer import Counterexample, ExploreReport, explore
-from repro.check.fuzz import FuzzReport, fuzz
+from repro.check.fuzz import FuzzBatchReport, FuzzReport, fuzz, fuzz_many
 from repro.check.invariants import (
     InvariantViolation,
     check_block,
@@ -24,11 +28,14 @@ from repro.check.invariants import (
 )
 from repro.check.monitor import InvariantMonitor
 from repro.check.state import EngineHarness, Ref, StepSpec
+from repro.check.symmetry import CanonicalContext
 
 __all__ = [
+    "CanonicalContext",
     "Counterexample",
     "EngineHarness",
     "ExploreReport",
+    "FuzzBatchReport",
     "FuzzReport",
     "InvariantMonitor",
     "InvariantViolation",
@@ -38,4 +45,5 @@ __all__ = [
     "check_engine",
     "explore",
     "fuzz",
+    "fuzz_many",
 ]

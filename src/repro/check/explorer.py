@@ -1,8 +1,8 @@
-"""Exhaustive breadth-first exploration of small protocol configs.
+"""Parallel, symmetry-reduced exploration of small protocol configs.
 
 In the spirit of the CSP/FDR models Meunier et al. built for
 ring-based coherence (and of classic Murphi protocol verification),
-the explorer enumerates *every* quiescent system state reachable from
+the explorer enumerates every quiescent system state reachable from
 the cold state under a bounded reference alphabet -- all single
 references plus, optionally, all two-node concurrent "race" steps --
 for a small configuration (2--4 nodes, 1--2 shared lines).  At every
@@ -10,21 +10,46 @@ newly reached state it asserts the full strict invariant set (SWMR,
 directory--cache agreement, freshness, bystander legality, and
 deadlock/livelock freedom during the drain).
 
-Because engine state cannot be copied (it lives in suspended
-generators), each BFS expansion *replays* the frontier state's step
-script on a fresh engine and then applies one more step.  Replay makes
-expansions O(depth), but the abstract state spaces at checker scale
-are tiny (tens to a few thousand states) and BFS order guarantees the
-first violation found has a *minimal* script -- the shortest
-counterexample, directly replayable (optionally under a
-:class:`repro.obs.Tracer` for a full event trace).
+Three mechanisms make the search CI-exhaustive at the
+4-processor/2-line acceptance configuration instead of toy-only:
+
+* **Symmetry reduction** (:mod:`repro.check.symmetry`).  States are
+  canonicalized under processor and line relabeling before the
+  visited-set test, so one representative per orbit is explored --
+  a 4--12x cut in visited states at 4p/2l, measured per protocol in
+  ``docs/CHECKING.md``.  ``symmetry="none"`` keeps the raw
+  (identity-canonicalized) search as the equivalence oracle.
+* **One-step expansions.**  Engine state lives in suspended processes
+  *only between* events; at quiescence the whole harness is plain
+  data, so each frontier state is expanded by cloning its harness and
+  applying one step -- O(1) steps per expansion -- instead of
+  replaying its entire script (O(depth)).  Scripts are still carried
+  on every frontier entry: a BFS node's script *is* its reproduction
+  recipe, and BFS order guarantees the first violation found has a
+  minimal script within the reduced search.
+* **A sharded frontier** (``jobs > 1``).  Each BFS level is split
+  into batches expanded on the :func:`repro.core.parallel.map_tasks`
+  process pool; workers replay a batch's prefix once, expand every
+  alphabet step from the clone, and return ``(entry, step,
+  canonical-fingerprint | violation)`` records.  The coordinator
+  absorbs records in deterministic entry/step order, so parallel runs
+  produce **bit-identical** visited sets, counters and
+  counterexamples to serial runs.
+
+Exploration state (visited fingerprints plus the unexpanded frontier)
+checkpoints into the content-addressed :class:`~repro.core.store.
+ResultStore` after every level when a ``store`` is supplied, keyed by
+the protocol/config/alphabet fingerprint: interrupted or truncated
+runs resume instead of restarting, and a completed run is a cached
+proof that later invocations return without re-searching.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.check.invariants import InvariantViolation
 from repro.memory.states import IllegalTransition
@@ -36,16 +61,25 @@ from repro.check.state import (
     Ref,
     StepSpec,
 )
+from repro.check.symmetry import SYMMETRY_MODES, CanonicalContext
 
 __all__ = [
     "Counterexample",
     "ExploreReport",
-    "step_alphabet",
+    "alphabet_fingerprint",
     "explore",
+    "explore_fingerprint",
+    "step_alphabet",
 ]
 
 #: Golden counterexample schema version (tests pin the layout).
 COUNTEREXAMPLE_SCHEMA = 1
+
+#: Checkpoint blob layout version (bump on incompatible change).
+CHECKPOINT_SCHEMA = 1
+
+#: Blob family used in the result store for explorer checkpoints.
+CHECKPOINT_KIND = "explore"
 
 
 @dataclass
@@ -123,32 +157,85 @@ class Counterexample:
 
 @dataclass
 class ExploreReport:
-    """Outcome of one :func:`explore` run."""
+    """Outcome of one :func:`explore` run.
+
+    ``states`` counts *canonical* (orbit-representative) states; with
+    ``symmetry="none"`` that equals the raw state count, which is how
+    the reduction factor is measured.  ``complete`` is ``True`` only
+    when the frontier drained with no bound hit -- a clean
+    ``complete=False`` run is **not** a proof, and :meth:`summary`
+    says so explicitly (``truncated_by`` names the bounds that bit).
+    """
 
     protocol: str
     nodes: int
     lines: int
     states: int = 0
     steps_applied: int = 0
+    states_expanded: int = 0
+    states_canonicalized: int = 0
+    replay_steps: int = 0
     max_depth_reached: int = 0
     complete: bool = False
+    truncated_by: List[str] = field(default_factory=list)
     counterexample: Optional[Counterexample] = None
     alphabet_size: int = 0
     limits: Dict[str, int] = field(default_factory=dict)
+    symmetry: str = "full"
+    group_size: int = 1
+    jobs: int = 1
+    resumed: bool = False
+    resumed_states: int = 0
+    visited_fingerprints: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return self.counterexample is None
 
+    @property
+    def outcome(self) -> str:
+        """``"violation"``, ``"exhaustive"`` or ``"truncated"``."""
+        if self.counterexample is not None:
+            return "violation"
+        return "exhaustive" if self.complete else "truncated"
+
+    def counters(self) -> Dict[str, int]:
+        """Deterministic work counters (gated by ``repro bench``)."""
+        return {
+            "states": self.states,
+            "steps_applied": self.steps_applied,
+            "states_expanded": self.states_expanded,
+            "states_canonicalized": self.states_canonicalized,
+            "max_depth": self.max_depth_reached,
+        }
+
     def summary(self) -> str:
         if not self.ok:
             return self.counterexample.describe()
-        coverage = "exhaustive" if self.complete else "bounded"
-        return (
-            f"{self.protocol}: {self.states} states, "
+        reduction = (
+            f", symmetry group {self.group_size}"
+            if self.symmetry != "none"
+            else ", no symmetry reduction"
+        )
+        resumed = (
+            f", resumed from {self.resumed_states} cached states"
+            if self.resumed
+            else ""
+        )
+        base = (
+            f"{self.protocol}: {self.states} canonical states, "
             f"{self.steps_applied} transitions explored "
-            f"({coverage}, depth <= {self.max_depth_reached}, "
-            f"alphabet {self.alphabet_size}), 0 violations"
+            f"(depth <= {self.max_depth_reached}, "
+            f"alphabet {self.alphabet_size}{reduction}{resumed}), "
+            f"0 violations"
+        )
+        if self.complete:
+            return base + " -- EXHAUSTIVE (state space fully explored)"
+        bounds = ", ".join(self.truncated_by) or "bounds"
+        return (
+            base
+            + f" -- TRUNCATED by {bounds}: bounded search, NOT an "
+            "exhaustiveness proof"
         )
 
 
@@ -177,6 +264,161 @@ def step_alphabet(
     return steps
 
 
+# ----------------------------------------------------------------------
+# Script / checkpoint serialisation
+# ----------------------------------------------------------------------
+def _encode_script(script: Sequence[StepSpec]) -> list:
+    return [
+        [
+            [ref.node, ref.line, "w" if ref.is_write else "r"]
+            for ref in step.refs
+        ]
+        for step in script
+    ]
+
+
+def _decode_script(payload: Sequence[Sequence[Sequence]]) -> Tuple[StepSpec, ...]:
+    return tuple(
+        StepSpec(
+            tuple(Ref(node, line, op == "w") for node, line, op in refs)
+        )
+        for refs in payload
+    )
+
+
+def alphabet_fingerprint(alphabet: Sequence[StepSpec]) -> str:
+    """Stable content hash of a step alphabet."""
+    canonical = json.dumps(_encode_script(alphabet), separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def explore_fingerprint(
+    protocol: str,
+    nodes: int,
+    lines: int,
+    *,
+    races: bool = True,
+    symmetry: str = "full",
+    harness_factory=EngineHarness,
+) -> str:
+    """Checkpoint key: the protocol/config/alphabet fingerprint.
+
+    Everything that shapes the reachable state graph is hashed --
+    protocol, system size, the full step alphabet, the symmetry mode,
+    and the harness type (mutation tests must never share checkpoints
+    with the clean engine).  Search *bounds* are deliberately
+    excluded: a deeper rerun resumes the same checkpoint instead of
+    starting over.
+    """
+    alphabet = step_alphabet(nodes, lines, races=races)
+    setup = {
+        "schema": CHECKPOINT_SCHEMA,
+        "protocol": protocol,
+        "nodes": nodes,
+        "lines": lines,
+        "races": races,
+        "symmetry": symmetry,
+        "alphabet": alphabet_fingerprint(alphabet),
+        "harness": (
+            f"{harness_factory.__module__}.{harness_factory.__qualname__}"
+        ),
+    }
+    canonical = json.dumps(setup, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class _Entry:
+    """One frontier state: its script, and (when local) its harness."""
+
+    script: Tuple[StepSpec, ...]
+    harness: Optional[EngineHarness] = None
+
+    @property
+    def depth(self) -> int:
+        return len(self.script)
+
+
+def _violation_kind(violation: BaseException) -> str:
+    # InvariantViolation is a ProtocolError; IllegalTransition and
+    # other ProtocolErrors are the engines' own built-in assertions
+    # tripping before the oracle ran -- equally a bug.
+    return getattr(violation, "kind", None) or (
+        "illegal-transition"
+        if isinstance(violation, IllegalTransition)
+        else "protocol-error"
+    )
+
+
+def _clone(harness):
+    clone = getattr(harness, "clone", None)
+    if clone is not None:
+        return clone()
+    import copy
+
+    return copy.deepcopy(harness)
+
+
+def _replay_entry(
+    harness_factory, protocol: str, nodes: int, lines: int, script
+):
+    harness = harness_factory(protocol, nodes, lines)
+    for step in script:
+        harness.apply(step)
+    return harness
+
+
+def _expand_batch(payload):
+    """Worker: expand a batch of frontier entries, one step each.
+
+    ``payload`` is ``(protocol, nodes, lines, races, symmetry,
+    harness_factory, entries)`` with ``entries`` a list of ``(position,
+    script)`` pairs.  Each entry's prefix is replayed once (the only
+    O(depth) cost, amortised over the whole alphabet), then every
+    alphabet step runs on a fresh clone.  Records come back in
+    deterministic (position, step) order:
+
+    * ``("state", step_index, fingerprint)`` -- canonical fingerprint
+      of the reached state;
+    * ``("violation", step_index, kind, message)`` -- the batch stops
+      at the first violation (later records would be discarded by the
+      coordinator anyway).
+    """
+    protocol, nodes, lines, races, symmetry, factory, entries = payload
+    alphabet = step_alphabet(nodes, lines, races=races)
+    context = CanonicalContext(protocol, nodes, lines, symmetry)
+    results = []
+    replayed = 0
+    for position, script in entries:
+        base = _replay_entry(factory, protocol, nodes, lines, script)
+        replayed += len(script)
+        records: List[tuple] = []
+        halted = False
+        for step_index, step in enumerate(alphabet):
+            child = _clone(base)
+            try:
+                child.apply(step)
+                child.check(strict=True)
+            except (ProtocolError, IllegalTransition) as violation:
+                records.append(
+                    (
+                        "violation",
+                        step_index,
+                        _violation_kind(violation),
+                        str(violation),
+                    )
+                )
+                halted = True
+                break
+            records.append(
+                ("state", step_index, context.fingerprint(child.snapshot()))
+            )
+        results.append((position, records))
+        if halted:
+            break
+    return results, replayed
+
+
 def explore(
     protocol: str,
     nodes: int = 2,
@@ -185,94 +427,270 @@ def explore(
     races: bool = True,
     max_depth: int = 12,
     max_states: int = 20_000,
+    symmetry: str = "full",
+    jobs: int = 1,
+    store=None,
+    resume: bool = True,
     harness_factory=EngineHarness,
 ) -> ExploreReport:
     """BFS the quiescent state space; stop at the first violation.
 
+    ``symmetry`` selects the canonicalization group (``"full"`` =
+    processor x line relabeling, cluster-respecting on the
+    hierarchical ring; ``"none"`` = identity, the raw-space oracle).
+    ``jobs > 1`` shards each BFS level across the process pool --
+    results are bit-identical to serial.  ``store`` (a
+    :class:`repro.core.store.ResultStore`) checkpoints the visited
+    set and unexpanded frontier after every level and, with
+    ``resume=True``, continues from (or immediately returns) a
+    previous run of the same setup.
+
     ``harness_factory`` lets tests substitute a harness whose engine
-    carries an injected bug (mutation testing): it must accept the
-    ``(protocol, nodes, lines)`` constructor and expose the
-    :class:`EngineHarness` interface.
+    carries an injected bug (mutation testing); for ``jobs > 1`` it
+    must be picklable (a module-level class).
 
     The search is exhaustive (``complete=True``) when it drains the
     frontier without hitting ``max_depth`` or ``max_states``; both
     bounds exist only as safety rails for configs larger than the
-    checker's design point.
+    checker's design point, and a bounded clean run reports itself as
+    truncated, never as a proof.
     """
     if protocol not in PROTOCOLS:
         raise ValueError(
             f"unknown protocol {protocol!r}; "
             f"expected one of {sorted(PROTOCOLS)}"
         )
+    if symmetry not in SYMMETRY_MODES:
+        raise ValueError(
+            f"unknown symmetry mode {symmetry!r}; "
+            f"expected one of {SYMMETRY_MODES}"
+        )
     alphabet = step_alphabet(nodes, lines, races=races)
+    context = CanonicalContext(protocol, nodes, lines, symmetry)
     report = ExploreReport(
         protocol=protocol,
         nodes=nodes,
         lines=lines,
         alphabet_size=len(alphabet),
         limits={"max_depth": max_depth, "max_states": max_states},
+        symmetry=symmetry,
+        group_size=context.group_size,
+        jobs=max(1, jobs),
     )
 
-    def run_script(script: Tuple[StepSpec, ...]) -> EngineHarness:
-        harness = harness_factory(protocol, nodes, lines)
-        for step in script:
-            harness.apply(step)
-        return harness
+    checkpoint_key = None
+    if store is not None:
+        checkpoint_key = explore_fingerprint(
+            protocol,
+            nodes,
+            lines,
+            races=races,
+            symmetry=symmetry,
+            harness_factory=harness_factory,
+        )
 
-    initial = harness_factory(protocol, nodes, lines)
-    visited: Dict[AbstractState, int] = {initial.snapshot(): 0}
-    frontier: List[Tuple[AbstractState, Tuple[StepSpec, ...]]] = [
-        (initial.snapshot(), ())
-    ]
-    report.states = 1
-    truncated = False
+    visited: Dict[str, int] = {}
+    frontier: List[_Entry] = []
 
-    while frontier:
-        next_frontier: List[
-            Tuple[AbstractState, Tuple[StepSpec, ...]]
-        ] = []
-        for _, script in frontier:
-            depth = len(script) + 1
-            if depth > max_depth:
-                truncated = True
-                continue
-            for step in alphabet:
-                extended = script + (step,)
-                try:
-                    harness = run_script(extended)
-                    harness.check(strict=True)
-                except (ProtocolError, IllegalTransition) as violation:
-                    # InvariantViolation is a ProtocolError; the other
-                    # two are the engines' own built-in assertions
-                    # tripping before the oracle ran -- equally a bug.
-                    kind = getattr(violation, "kind", None) or (
-                        "illegal-transition"
-                        if isinstance(violation, IllegalTransition)
-                        else "protocol-error"
+    if checkpoint_key is not None and resume:
+        payload = store.get_blob(CHECKPOINT_KIND, checkpoint_key)
+        if payload is not None and payload.get("schema") == CHECKPOINT_SCHEMA:
+            visited = {
+                fingerprint: depth
+                for fingerprint, depth in payload["visited"].items()
+            }
+            frontier = [
+                _Entry(script=_decode_script(script))
+                for script in payload["frontier"]
+            ]
+            for name in (
+                "states",
+                "steps_applied",
+                "states_expanded",
+                "states_canonicalized",
+                "max_depth_reached",
+            ):
+                setattr(report, name, payload["counters"][name])
+            report.resumed = True
+            report.resumed_states = len(visited)
+            if payload["complete"]:
+                report.complete = True
+                report.visited_fingerprints = sorted(visited)
+                return report
+
+    if not report.resumed:
+        initial = harness_factory(protocol, nodes, lines)
+        fingerprint = context.fingerprint(initial.snapshot())
+        visited[fingerprint] = 0
+        frontier = [_Entry(script=(), harness=initial)]
+        report.states = 1
+        report.states_canonicalized = 1
+
+    def save_checkpoint(pending: List[_Entry], complete: bool) -> None:
+        if checkpoint_key is None:
+            return
+        store.put_blob(
+            CHECKPOINT_KIND,
+            checkpoint_key,
+            {
+                "schema": CHECKPOINT_SCHEMA,
+                "protocol": protocol,
+                "nodes": nodes,
+                "lines": lines,
+                "complete": complete,
+                "truncated_by": list(report.truncated_by),
+                "counters": {
+                    "states": report.states,
+                    "steps_applied": report.steps_applied,
+                    "states_expanded": report.states_expanded,
+                    "states_canonicalized": report.states_canonicalized,
+                    "max_depth_reached": report.max_depth_reached,
+                },
+                "visited": visited,
+                "frontier": [
+                    _encode_script(entry.script) for entry in pending
+                ],
+            },
+        )
+
+    def absorb_state(entry: _Entry, step: StepSpec, fingerprint: str,
+                     depth: int, harness) -> None:
+        report.steps_applied += 1
+        report.states_canonicalized += 1
+        if fingerprint in visited:
+            return
+        visited[fingerprint] = depth
+        report.states += 1
+        report.max_depth_reached = max(report.max_depth_reached, depth)
+        next_frontier.append(
+            _Entry(script=entry.script + (step,), harness=harness)
+        )
+
+    def absorb_violation(entry: _Entry, step: StepSpec, kind: str,
+                         message: str) -> None:
+        report.counterexample = Counterexample(
+            protocol=protocol,
+            nodes=nodes,
+            lines=lines,
+            script=entry.script + (step,),
+            kind=kind,
+            message=message,
+        )
+
+    while frontier and report.counterexample is None:
+        depth = min(entry.depth for entry in frontier) + 1
+        if depth > max_depth:
+            report.truncated_by.append("max_depth")
+            save_checkpoint(frontier, complete=False)
+            break
+        level = [entry for entry in frontier if entry.depth + 1 == depth]
+        carried = [entry for entry in frontier if entry.depth + 1 != depth]
+        next_frontier: List[_Entry] = []
+        truncated_at: Optional[int] = None
+
+        if report.jobs > 1:
+            positions = list(range(len(level)))
+            batch_size = max(
+                1, (len(level) + report.jobs * 4 - 1) // (report.jobs * 4)
+            )
+            batches = [
+                positions[start : start + batch_size]
+                for start in range(0, len(positions), batch_size)
+            ]
+            from repro.core.parallel import map_tasks
+
+            outputs = map_tasks(
+                _expand_batch,
+                [
+                    (
+                        protocol,
+                        nodes,
+                        lines,
+                        races,
+                        symmetry,
+                        harness_factory,
+                        [(pos, level[pos].script) for pos in batch],
                     )
-                    report.counterexample = Counterexample(
-                        protocol=protocol,
-                        nodes=nodes,
-                        lines=lines,
-                        script=extended,
-                        kind=kind,
-                        message=str(violation),
+                    for batch in batches
+                ],
+                jobs=report.jobs,
+            )
+            records_for: Dict[int, list] = {}
+            for results, replayed in outputs:
+                report.replay_steps += replayed
+                for position, records in results:
+                    records_for[position] = records
+            for position, entry in enumerate(level):
+                if len(visited) >= max_states:
+                    truncated_at = position
+                    break
+                report.states_expanded += 1
+                for record in records_for.get(position, ()):
+                    if record[0] == "violation":
+                        _, step_index, kind, message = record
+                        absorb_violation(
+                            entry, alphabet[step_index], kind, message
+                        )
+                        break
+                    _, step_index, fingerprint = record
+                    absorb_state(
+                        entry, alphabet[step_index], fingerprint, depth,
+                        harness=None,
                     )
-                    return report
-                report.steps_applied += 1
-                state = harness.snapshot()
-                if state in visited:
-                    continue
-                if report.states >= max_states:
-                    truncated = True
-                    continue
-                visited[state] = depth
-                report.states += 1
-                report.max_depth_reached = max(
-                    report.max_depth_reached, depth
-                )
-                next_frontier.append((state, extended))
-        frontier = next_frontier
+                if report.counterexample is not None:
+                    break
+        else:
+            for position, entry in enumerate(level):
+                if len(visited) >= max_states:
+                    truncated_at = position
+                    break
+                if entry.harness is None:
+                    entry.harness = _replay_entry(
+                        harness_factory, protocol, nodes, lines, entry.script
+                    )
+                    report.replay_steps += len(entry.script)
+                report.states_expanded += 1
+                for step in alphabet:
+                    child = _clone(entry.harness)
+                    try:
+                        child.apply(step)
+                        child.check(strict=True)
+                    except (
+                        ProtocolError,
+                        IllegalTransition,
+                    ) as violation:
+                        absorb_violation(
+                            entry, step, _violation_kind(violation),
+                            str(violation),
+                        )
+                        break
+                    absorb_state(
+                        entry,
+                        step,
+                        context.fingerprint(child.snapshot()),
+                        depth,
+                        harness=child,
+                    )
+                entry.harness = None  # free the engine promptly
+                if report.counterexample is not None:
+                    break
 
-    report.complete = not truncated
+        if report.counterexample is not None:
+            break
+        if truncated_at is not None:
+            report.truncated_by.append("max_states")
+            save_checkpoint(
+                level[truncated_at:] + carried + next_frontier,
+                complete=False,
+            )
+            break
+        frontier = carried + next_frontier
+        save_checkpoint(frontier, complete=not frontier)
+
+    # Drained frontier with every bound intact: a full proof.  (The
+    # final in-loop save already checkpointed ``complete=True``.)
+    if report.counterexample is None and not report.truncated_by:
+        report.complete = True
+
+    report.visited_fingerprints = sorted(visited)
     return report

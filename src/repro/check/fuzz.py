@@ -27,7 +27,7 @@ from repro.memory.states import IllegalTransition
 from repro.ring.base import ProtocolError
 from repro.sim.rng import DeterministicRng
 
-__all__ = ["FuzzReport", "fuzz"]
+__all__ = ["FuzzBatchReport", "FuzzReport", "fuzz", "fuzz_many"]
 
 
 @dataclass
@@ -139,3 +139,108 @@ def fuzz(
         report.steps_applied += 1
         report.races_applied += step.is_race
     return report
+
+
+@dataclass
+class FuzzBatchReport:
+    """Outcome of a :func:`fuzz_many` campaign (one report per seed)."""
+
+    protocol: str
+    nodes: int
+    lines: int
+    base_seed: int
+    reports: Tuple[FuzzReport, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    @property
+    def steps_applied(self) -> int:
+        return sum(report.steps_applied for report in self.reports)
+
+    @property
+    def failures(self) -> Tuple[FuzzReport, ...]:
+        return tuple(r for r in self.reports if not r.ok)
+
+    def first_failure(self) -> Optional[FuzzReport]:
+        return self.failures[0] if self.failures else None
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"{self.protocol}: {len(self.reports)} walks, "
+                f"{self.steps_applied} total steps at {self.nodes} "
+                f"nodes / {self.lines} lines (base seed "
+                f"{self.base_seed}): 0 violations"
+            )
+        failing = ", ".join(str(r.seed) for r in self.failures)
+        return (
+            f"{self.protocol}: {len(self.failures)} of "
+            f"{len(self.reports)} walks failed (seeds {failing}); "
+            f"first: {self.first_failure().summary()}"
+        )
+
+
+def _fuzz_worker(payload) -> FuzzReport:
+    kwargs = dict(payload)
+    return fuzz(
+        kwargs.pop("protocol"),
+        kwargs.pop("nodes"),
+        kwargs.pop("lines"),
+        kwargs.pop("steps"),
+        kwargs.pop("seed"),
+        **kwargs,
+    )
+
+
+def fuzz_many(
+    protocol: str,
+    nodes: int = 8,
+    lines: int = 24,
+    steps: int = 10_000,
+    seed: int = 1,
+    *,
+    num_seeds: int = 4,
+    jobs: int = 1,
+    write_fraction: float = 0.35,
+    race_fraction: float = 0.25,
+    check_every: int = 1,
+    harness_factory=EngineHarness,
+) -> FuzzBatchReport:
+    """``num_seeds`` independent walks, optionally sharded over a pool.
+
+    Walk ``i`` runs with :func:`repro.core.parallel.derive_seed`
+    ``(seed, i)`` -- the per-walk seed depends only on the base seed
+    and the walk's index, never on worker scheduling, so serial and
+    parallel campaigns find exactly the same violations and every
+    finding replays as a plain :func:`fuzz` call with the derived
+    seed.  Walks never stop early on another walk's failure: the batch
+    verdict is the same regardless of ordering.
+    """
+    from repro.core.parallel import derive_seed, map_tasks
+
+    if num_seeds < 1:
+        raise ValueError(f"num_seeds must be >= 1, got {num_seeds}")
+    payloads = [
+        (
+            ("protocol", protocol),
+            ("nodes", nodes),
+            ("lines", lines),
+            ("steps", steps),
+            ("seed", derive_seed(seed, index)),
+            ("write_fraction", write_fraction),
+            ("race_fraction", race_fraction),
+            ("check_every", check_every),
+            ("harness_factory", harness_factory),
+        )
+        for index in range(num_seeds)
+    ]
+    reports = map_tasks(_fuzz_worker, payloads, jobs=jobs)
+    return FuzzBatchReport(
+        protocol=protocol,
+        nodes=nodes,
+        lines=lines,
+        base_seed=seed,
+        reports=tuple(reports),
+    )

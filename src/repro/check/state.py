@@ -29,7 +29,8 @@ write is last, so the oracle resynchronises instead of judging.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import copy
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import CacheConfig, Protocol, SystemConfig
@@ -41,11 +42,13 @@ from repro.check.invariants import InvariantViolation, check_addresses
 
 __all__ = [
     "DRAIN_HORIZON_PS",
+    "HIERARCHY_CLUSTERS",
     "PROTOCOLS",
     "Ref",
     "StepSpec",
     "AbstractState",
     "EngineHarness",
+    "hierarchy_per_cluster",
 ]
 
 #: 50 ms of simulated time -- orders of magnitude beyond any legal
@@ -59,7 +62,23 @@ PROTOCOLS: Dict[str, Protocol] = {
     "directory": Protocol.DIRECTORY,
     "linkedlist": Protocol.LINKED_LIST,
     "bus": Protocol.BUS,
+    "hierarchical": Protocol.HIERARCHICAL,
 }
+
+#: Checker configurations of the hierarchical ring always use two
+#: local rings: the smallest hierarchy that exercises every
+#: inter-cluster path, and the one the symmetry group is built for.
+HIERARCHY_CLUSTERS = 2
+
+
+def hierarchy_per_cluster(nodes: int) -> int:
+    """Nodes per local ring at checker scale (and a validity check)."""
+    if nodes % HIERARCHY_CLUSTERS:
+        raise ValueError(
+            f"hierarchical checking needs an even node count "
+            f"(got {nodes}: {HIERARCHY_CLUSTERS} equal clusters)"
+        )
+    return nodes // HIERARCHY_CLUSTERS
 
 #: State changes a *bystander* -- a (node, line) pair not referenced in
 #: the current step -- may legally undergo: invalidation, downgrade, or
@@ -123,9 +142,16 @@ def _small_config(protocol: Protocol, nodes: int, lines: int) -> SystemConfig:
     # evictions would be driven by private fills the checker never
     # issues, so every state change is a protocol action.
     cache = CacheConfig(size_bytes=1024, block_size=32)
-    return SystemConfig(
+    config = SystemConfig(
         num_processors=nodes, protocol=protocol, cache=cache
     )
+    if protocol is Protocol.HIERARCHICAL:
+        hierarchy_per_cluster(nodes)  # validates the node count
+        config = replace(
+            config,
+            ring=replace(config.ring, clusters=HIERARCHY_CLUSTERS),
+        )
+    return config
 
 
 class EngineHarness:
@@ -280,12 +306,55 @@ class EngineHarness:
             )
         )
         views = tuple(
-            (line, self.engine.coherence_view(
-                self.engine.address_map.block_of(address)
-            ))
+            (line, self._view_of(address))
             for line, address in enumerate(self.addresses)
         )
         return (caches, views)
+
+    def _view_of(self, address: int) -> tuple:
+        """Canonical metadata for one line, any engine.
+
+        Engines with a ``coherence_view`` report it directly; engines
+        without one (the hierarchical ring keeps per-cluster metadata)
+        fall back to the ownership facts every engine exposes --
+        ``dirty_hint`` plus an ``owned_by`` scan -- under the
+        ``"owner"`` tag, which the symmetry layer relabels like a
+        dirty bit.
+        """
+        view = getattr(self.engine, "coherence_view", None)
+        if view is not None:
+            try:
+                return view(self.engine.address_map.block_of(address))
+            except NotImplementedError:
+                pass
+        dirty = self.engine.dirty_hint(address)
+        owner = next(
+            (
+                node
+                for node in range(self.nodes)
+                if self.engine.owned_by(address, node)
+            ),
+            None,
+        )
+        return ("owner", dirty, owner)
+
+    def clone(self) -> "EngineHarness":
+        """An independent deep copy of this *quiescent* harness.
+
+        At quiescence nothing live remains -- the event heap is empty
+        and no process is suspended mid-transaction -- so the whole
+        object graph (caches, directories, locks, RNG, clock) is plain
+        data and ``deepcopy`` reproduces it exactly: the clone's
+        future behaviour is bit-identical to replaying this harness's
+        script on a fresh engine.  This is what makes frontier
+        expansion cost one step instead of ``depth`` steps.
+        """
+        if self.sim.peek() is not None:
+            raise RuntimeError(
+                "clone() requires a quiescent harness "
+                "(the event heap is still live)"
+            )
+        return copy.deepcopy(self)
 
     def _cache_matrix(self) -> Dict[Tuple[int, int], CacheState]:
         return {

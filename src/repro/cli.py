@@ -266,7 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["all", "kernel", "models"],
+        choices=["all", "kernel", "models", "check"],
         default="all",
         help="which suite to run (default all)",
     )
@@ -305,9 +305,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Check the coherence protocols against the invariant "
             "catalogue in docs/CHECKING.md.  'explore' enumerates every "
-            "reachable quiescent state of a tiny configuration and "
-            "reports a minimal counterexample on failure; 'fuzz' runs a "
-            "long seeded random walk over a larger one."
+            "reachable quiescent state of a small configuration "
+            "(symmetry-reduced, optionally parallel and resumable) and "
+            "reports a minimal counterexample on failure; 'fuzz' runs "
+            "seeded random walks over a larger one."
         ),
     )
     verbs = check.add_subparsers(dest="verb", required=True)
@@ -315,7 +316,13 @@ def build_parser() -> argparse.ArgumentParser:
     def add_check_arguments(sub: argparse.ArgumentParser, verb: str) -> None:
         sub.add_argument(
             "--protocol",
-            choices=("snooping", "directory", "linkedlist", "bus"),
+            choices=(
+                "snooping",
+                "directory",
+                "linkedlist",
+                "bus",
+                "hierarchical",
+            ),
             required=True,
         )
         sub.add_argument(
@@ -329,6 +336,14 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=1 if verb == "explore" else 24,
             help="shared lines in play (default %(default)s)",
+        )
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes (default 1: serial; results are "
+            "bit-identical either way)",
         )
 
     explore = verbs.add_parser(
@@ -351,6 +366,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-races",
         action="store_true",
         help="single references only (skip two-node race steps)",
+    )
+    explore.add_argument(
+        "--symmetry",
+        choices=("full", "none"),
+        default="full",
+        help="canonicalization group: 'full' = processor/line "
+        "relabeling (cluster-respecting on hierarchical), 'none' = "
+        "raw state space (default full)",
+    )
+    explore.add_argument(
+        "--resume",
+        action="store_true",
+        help="checkpoint visited states and the frontier in the "
+        "result store after every BFS level, and continue from (or "
+        "immediately answer with) a previous run of the same setup",
+    )
+    explore.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-store directory for --resume "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    explore.add_argument(
+        "--require-exhaustive",
+        action="store_true",
+        help="exit 3 when the search was clean but truncated by "
+        "max-depth/max-states (CI guard: a bounded pass is not a "
+        "proof)",
     )
     explore.add_argument(
         "--counterexample",
@@ -377,7 +421,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="walk length (default 10000)",
     )
     fuzz.add_argument(
-        "--seed", type=int, default=1, help="walk seed (default 1)"
+        "--seed", type=int, default=1, help="base seed (default 1)"
+    )
+    fuzz.add_argument(
+        "--num-seeds",
+        type=int,
+        default=1,
+        metavar="N",
+        help="independent walks; walk i uses the seed derived from "
+        "(--seed, i), so findings replay regardless of --jobs "
+        "(default 1: a single walk with --seed itself)",
     )
 
     store = commands.add_parser(
@@ -838,6 +891,11 @@ def _command_check(args: argparse.Namespace) -> int:
     from repro import check
 
     if args.verb == "explore":
+        store = None
+        if args.resume:
+            from repro.core.store import get_result_store
+
+            store = get_result_store()
         report = check.explore(
             args.protocol,
             nodes=args.nodes,
@@ -845,9 +903,21 @@ def _command_check(args: argparse.Namespace) -> int:
             races=not args.no_races,
             max_depth=args.max_depth,
             max_states=args.max_states,
+            symmetry=args.symmetry,
+            jobs=args.jobs,
+            store=store,
         )
         print(report.summary())
         if report.ok:
+            if args.require_exhaustive and not report.complete:
+                print(
+                    "exploration did not exhaust the state space "
+                    f"(truncated by {', '.join(report.truncated_by)}); "
+                    "raise --max-depth/--max-states or drop "
+                    "--require-exhaustive",
+                    file=sys.stderr,
+                )
+                return 3
             return 0
         counterexample = report.counterexample
         if args.counterexample:
@@ -887,6 +957,20 @@ def _command_check(args: argparse.Namespace) -> int:
             )
         return 1
 
+    if args.num_seeds > 1:
+        batch = check.fuzz_many(
+            args.protocol,
+            nodes=args.nodes,
+            lines=args.lines,
+            steps=args.steps,
+            seed=args.seed,
+            num_seeds=args.num_seeds,
+            jobs=args.jobs,
+        )
+        print(batch.summary())
+        for failure in batch.failures:
+            print(failure.summary(), file=sys.stderr)
+        return 0 if batch.ok else 1
     report = check.fuzz(
         args.protocol,
         nodes=args.nodes,

@@ -50,9 +50,85 @@ __all__ = [
     "PointOutcome",
     "SweepReport",
     "SweepPointError",
+    "TaskError",
     "derive_seed",
     "execute_points",
+    "map_tasks",
 ]
+
+
+class TaskError(RuntimeError):
+    """A task failed inside :func:`map_tasks`; carries which one.
+
+    The generic analogue of :class:`SweepPointError`: the failing
+    task's index (and a short repr of the task itself) travel with the
+    traceback, and the worker exception remains ``__cause__``.
+    """
+
+    def __init__(self, index: int, task: Any, cause: BaseException):
+        described = repr(task)
+        if len(described) > 200:
+            described = described[:197] + "..."
+        super().__init__(
+            f"task [{index}] failed: {described}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.index = index
+        self.task = task
+
+
+def map_tasks(
+    fn: "Callable[[Any], Any]",
+    tasks: Sequence[Any],
+    jobs: int = 1,
+) -> List[Any]:
+    """Order-preserving parallel map over a process pool.
+
+    The deterministic fan-out primitive shared by the sweep executor's
+    clients that are *not* simulations -- the model checker's frontier
+    expansion and the fuzzer's seed batches.  ``jobs<=1`` runs inline
+    (no pool, no pickling); ``jobs>1`` fans out across a
+    ``ProcessPoolExecutor`` and returns results **in task order**
+    regardless of completion order, so callers observe identical
+    output for identical input whatever the scheduling.  ``fn`` and
+    every task must be picklable (module-level callables).
+
+    A failing task cancels the outstanding work and raises
+    :class:`TaskError` naming the task, with the worker exception as
+    its cause.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if jobs <= 1 or len(tasks) == 1:
+        results: List[Any] = []
+        for index, task in enumerate(tasks):
+            try:
+                results.append(fn(task))
+            except Exception as exc:
+                raise TaskError(index, task, exc) from exc
+        return results
+    slots: List[Any] = [None] * len(tasks)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        pending = {
+            pool.submit(fn, task): index
+            for index, task in enumerate(tasks)
+        }
+        try:
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = pending.pop(future)
+                    try:
+                        slots[index] = future.result()
+                    except Exception as exc:
+                        raise TaskError(index, tasks[index], exc) from exc
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
+    return slots
 
 
 class SweepPointError(RuntimeError):

@@ -329,6 +329,9 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.blob_hits = 0
+        self.blob_misses = 0
+        self.blob_stores = 0
         if enabled:
             # Opening a store is the natural amortisation point for
             # sweeping temp files stranded by crashed writers; the age
@@ -352,6 +355,63 @@ class ResultStore:
 
     def _path_for(self, key: str) -> pathlib.Path:
         return self.results_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Generic JSON blobs (checkpoints and other derived artifacts)
+    # ------------------------------------------------------------------
+    def blob_dir(self, kind: str) -> pathlib.Path:
+        """Directory for one family of content-addressed JSON blobs.
+
+        Simulation results stay under ``results/``; other subsystems
+        persist their own keyed artifacts beside them (the model
+        checker keeps explored-state checkpoints under ``explore/``).
+        The same atomic-write and stale-temp-sweep machinery applies.
+        """
+        if not kind or "/" in kind or kind.startswith("."):
+            raise ValueError(f"invalid blob kind {kind!r}")
+        return self.directory / kind
+
+    def get_blob(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
+        """The stored JSON payload for ``(kind, key)``, or ``None``.
+
+        Mirrors :meth:`get`: disabled stores and corrupt entries read
+        as misses, counted separately in :attr:`blob_hits` /
+        :attr:`blob_misses`.
+        """
+        if not self.enabled:
+            return None
+        path = self.blob_dir(kind) / f"{key}.json"
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.blob_misses += 1
+            return None
+        self.blob_hits += 1
+        return payload
+
+    def put_blob(
+        self, kind: str, key: str, payload: Dict[str, Any]
+    ) -> None:
+        """Persist one JSON blob (atomic rename; no-op when disabled)."""
+        if not self.enabled:
+            return
+        directory = self.blob_dir(kind)
+        directory.mkdir(parents=True, exist_ok=True)
+        serialized = json.dumps(payload, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(serialized)
+            os.replace(tmp_name, directory / f"{key}.json")
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.blob_stores += 1
 
     # ------------------------------------------------------------------
     def get(
@@ -444,9 +504,12 @@ class ResultStore:
         concurrent rather than dead.
         """
         removed = 0
-        if self.results_dir.is_dir():
+        if self.directory.is_dir():
+            # Blob families (e.g. explore/ checkpoints) write through
+            # the same temp-then-rename protocol as results/, so the
+            # sweep covers every immediate subdirectory.
             cutoff = time.time() - min_age_seconds
-            for path in self.results_dir.glob(".tmp-*.json"):
+            for path in self.directory.glob("*/.tmp-*.json"):
                 try:
                     if min_age_seconds and path.stat().st_mtime > cutoff:
                         continue
@@ -467,6 +530,9 @@ class ResultStore:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "blob_hits": self.blob_hits,
+            "blob_misses": self.blob_misses,
+            "blob_stores": self.blob_stores,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,6 +1,6 @@
 """Microbenchmark suites and the perf-regression baseline format.
 
-Two suites cover the hot paths of the reproduction:
+Three suites cover the hot paths of the reproduction:
 
 * ``kernel`` -- trace-driven simulations (the event kernel, slot
   scheduler and coherence engines), including the saturated
@@ -9,7 +9,12 @@ Two suites cover the hot paths of the reproduction:
 * ``models`` -- analytical-model fixed-point sweeps (the accelerated
   solver of :mod:`repro.models.base`), plus -- when NumPy is
   available -- the vectorized grid engine (``grid.solve``, gated on
-  its ``grid_evals`` counter).
+  its ``grid_evals`` counter);
+* ``check`` -- symmetry-reduced exhaustive state exploration
+  (``explore.bfs.*``), gated on canonical state and transition
+  counts: those are exact properties of the protocol's reachable
+  state graph under the reduction, so *any* growth means the search
+  (or the protocol) changed, not the machine.
 
 Every workload reports wall-clock seconds *and* deterministic work
 counters (kernel events processed, model evaluations).  Only the
@@ -20,8 +25,9 @@ same result -- precisely the regression the fast paths exist to
 prevent.  Wall time is still recorded in the baselines for local
 before/after comparisons.
 
-Baselines live at the repository root as ``BENCH_kernel.json`` and
-``BENCH_models.json``; regenerate them with ``repro bench --quick
+Baselines live at the repository root as ``BENCH_kernel.json``,
+``BENCH_models.json`` and ``BENCH_check.json``; regenerate them with
+``repro bench --quick
 --baseline`` after a deliberate perf-relevant change and commit the
 diff.  See ``docs/PERFORMANCE.md`` for the schema.
 """
@@ -274,9 +280,54 @@ def _models_workloads(quick: bool):
         yield "grid.solve", grid_solve, ("grid_evals",)
 
 
+# ----------------------------------------------------------------------
+# Check suite: exhaustive symmetry-reduced exploration
+# ----------------------------------------------------------------------
+def _check_workloads(quick: bool):
+    from repro.check.explorer import explore
+
+    # The hierarchical ring needs an even processor count (two local
+    # rings), so its quick-mode point drops a line instead of a node.
+    if quick:
+        plans = [
+            ("explore.bfs.snooping.3p2l", "snooping", 3, 2),
+            ("explore.bfs.directory.3p2l", "directory", 3, 2),
+            ("explore.bfs.linkedlist.3p2l", "linkedlist", 3, 2),
+            ("explore.bfs.bus.3p2l", "bus", 3, 2),
+            ("explore.bfs.hierarchical.4p1l", "hierarchical", 4, 1),
+        ]
+    else:
+        plans = [
+            ("explore.bfs.snooping.4p2l", "snooping", 4, 2),
+            ("explore.bfs.directory.4p2l", "directory", 4, 2),
+            ("explore.bfs.linkedlist.4p2l", "linkedlist", 4, 2),
+            ("explore.bfs.bus.4p2l", "bus", 4, 2),
+            ("explore.bfs.hierarchical.4p2l", "hierarchical", 4, 2),
+        ]
+    for name, protocol, nodes, lines in plans:
+
+        def run(protocol=protocol, nodes=nodes, lines=lines):
+            report = explore(
+                protocol, nodes, lines, max_depth=64, max_states=100_000
+            )
+            # A bench point that silently stopped exploring (or found
+            # a violation) would "pass" the gate with a shrunken
+            # counter; fail loudly instead.
+            if not report.ok:
+                raise AssertionError(report.summary())
+            if not report.complete:
+                raise AssertionError(
+                    f"exploration truncated: {report.summary()}"
+                )
+            return report.counters()
+
+        yield name, run
+
+
 _SUITES = {
     "kernel": (_kernel_workloads, ("events_processed",)),
     "models": (_models_workloads, ("model_evals",)),
+    "check": (_check_workloads, ("states", "steps_applied")),
 }
 
 

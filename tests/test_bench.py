@@ -42,6 +42,26 @@ def test_models_suite_reports_deterministic_counters(tmp_path):
     assert bench.check_against_baseline(second, baseline) == []
 
 
+def test_check_suite_gates_exact_exploration_counters(tmp_path):
+    report = bench.run_suite("check", quick=True)
+    names = [w.name for w in report.workloads]
+    # All five protocols, hierarchical included.
+    assert len(names) == 5
+    assert any("hierarchical" in name for name in names)
+    for workload in report.workloads:
+        assert workload.gate == ("states", "steps_applied")
+        assert workload.counters["states"] > 0
+        assert workload.counters["steps_applied"] > 0
+    path = bench.write_baseline(report, tmp_path)
+    assert path.endswith("BENCH_check.json")
+    baseline = bench.load_baseline("check", tmp_path)
+    assert bench.check_against_baseline(report, baseline) == []
+
+
+def test_check_suite_is_registered():
+    assert "check" in bench.suite_names()
+
+
 def test_unknown_suite_rejected():
     with pytest.raises(ValueError):
         bench.run_suite("nope")

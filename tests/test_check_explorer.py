@@ -28,11 +28,17 @@ PROTOCOLS = ("snooping", "directory", "linkedlist")
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("protocol", PROTOCOLS)
 def test_explore_two_nodes_one_line_is_clean_and_exhaustive(protocol):
-    report = explore(protocol, nodes=2, lines=1)
-    assert report.ok, report.summary()
-    assert report.complete, "2n/1l must be exhausted, not truncated"
-    assert report.states >= 5
-    assert report.steps_applied >= report.states
+    raw = explore(protocol, nodes=2, lines=1, symmetry="none")
+    assert raw.ok, raw.summary()
+    assert raw.complete, "2n/1l must be exhausted, not truncated"
+    assert raw.states >= 5
+    assert raw.steps_applied >= raw.states
+    assert raw.group_size == 1
+    reduced = explore(protocol, nodes=2, lines=1)
+    assert reduced.ok and reduced.complete
+    assert reduced.symmetry == "full" and reduced.group_size == 2
+    # The reduction only merges states, never invents or loses them.
+    assert 1 <= reduced.states <= raw.states
 
 
 def test_explore_bus_is_clean():
@@ -214,6 +220,182 @@ def test_counterexample_describe_mentions_the_violation():
     text = counterexample.describe()
     assert counterexample.kind in text
     assert "snooping" in text
+
+
+# ----------------------------------------------------------------------
+# Symmetry reduction and its oracle
+# ----------------------------------------------------------------------
+def test_symmetry_reduction_beats_four_x_at_three_nodes_two_lines():
+    raw = explore("snooping", nodes=3, lines=2, symmetry="none")
+    reduced = explore("snooping", nodes=3, lines=2, symmetry="full")
+    assert raw.ok and raw.complete and reduced.ok and reduced.complete
+    assert reduced.states * 4 <= raw.states, (
+        f"reduction only {raw.states}/{reduced.states}x"
+    )
+    # Orbit counting sanity: the raw space is at most |G| copies of
+    # the reduced one.
+    assert raw.states <= reduced.states * reduced.group_size
+
+
+def test_reduced_search_agrees_with_the_raw_oracle_on_mutants():
+    factory = mutant_harness(DroppedInvalidationSnooping)
+    raw = explore("snooping", 2, 1, symmetry="none", harness_factory=factory)
+    reduced = explore(
+        "snooping", 2, 1, symmetry="full", harness_factory=factory
+    )
+    assert not raw.ok and not reduced.ok
+    assert raw.counterexample.kind == reduced.counterexample.kind
+    # Symmetry never changes the step order at a given depth, so the
+    # minimal counterexample is literally the same script.
+    assert raw.counterexample.script == reduced.counterexample.script
+
+
+def test_hierarchical_protocol_is_clean_and_exhaustive():
+    report = explore("hierarchical", nodes=4, lines=1)
+    assert report.ok and report.complete, report.summary()
+    # Cluster-respecting group: (2! x 2! x 2!) node perms, 1 line perm.
+    assert report.group_size == 8
+
+
+def test_explore_rejects_unknown_symmetry():
+    with pytest.raises(ValueError):
+        explore("snooping", nodes=2, lines=1, symmetry="rotational")
+
+
+# ----------------------------------------------------------------------
+# Parallel frontier expansion: bit-identical to serial
+# ----------------------------------------------------------------------
+class ParallelMutantHarness(EngineHarness):
+    """Module-level (hence picklable) snooping mutant for jobs > 1."""
+
+    def __init__(self, protocol, nodes, lines):
+        super().__init__(protocol, nodes, lines)
+        mutant = object.__new__(DroppedInvalidationSnooping)
+        mutant.__dict__ = self.engine.__dict__
+        self.engine = mutant
+
+
+def test_parallel_exploration_is_bit_identical_to_serial():
+    serial = explore("snooping", nodes=3, lines=2, jobs=1)
+    parallel = explore("snooping", nodes=3, lines=2, jobs=2)
+    assert serial.ok and serial.complete
+    assert parallel.ok and parallel.complete
+    assert serial.visited_fingerprints == parallel.visited_fingerprints
+    assert serial.counters() == parallel.counters()
+
+
+def test_parallel_exploration_finds_the_same_counterexample():
+    serial = explore(
+        "snooping", 2, 1, jobs=1, harness_factory=ParallelMutantHarness
+    )
+    parallel = explore(
+        "snooping", 2, 1, jobs=2, harness_factory=ParallelMutantHarness
+    )
+    assert not serial.ok and not parallel.ok
+    assert serial.counterexample.script == parallel.counterexample.script
+    assert serial.counterexample.kind == parallel.counterexample.kind
+    assert serial.counters() == parallel.counters()
+
+
+def test_clone_expansion_matches_fresh_replay():
+    """One-step clones land exactly where full script replay lands."""
+    script = (
+        StepSpec((Ref(0, 0, True),)),
+        StepSpec((Ref(1, 0, False),)),
+        StepSpec((Ref(1, 0, True),)),
+    )
+    cloned = EngineHarness("directory", 2, 1)
+    for step in script:
+        cloned = cloned.clone()
+        cloned.apply(step)
+    replayed = EngineHarness.replay("directory", 2, 1, script)
+    assert cloned.snapshot() == replayed.snapshot()
+
+
+def test_clone_refuses_mid_transaction_state():
+    harness = EngineHarness("snooping", 2, 1)
+    harness.sim.spawn(iter(()), name="pending")
+    with pytest.raises(RuntimeError):
+        harness.clone()
+
+
+# ----------------------------------------------------------------------
+# Outcomes: exhaustive vs truncated, and store-backed resume
+# ----------------------------------------------------------------------
+def test_truncated_run_reports_itself_as_such():
+    report = explore("snooping", nodes=2, lines=1, max_depth=1)
+    assert report.ok and not report.complete
+    assert report.outcome == "truncated"
+    assert report.truncated_by == ["max_depth"]
+    assert "NOT an exhaustiveness proof" in report.summary()
+
+    capped = explore("snooping", nodes=2, lines=1, max_states=2)
+    assert capped.ok and not capped.complete
+    assert "max_states" in capped.truncated_by
+
+
+def test_exhaustive_run_reports_itself_as_such():
+    report = explore("snooping", nodes=2, lines=1)
+    assert report.complete and report.outcome == "exhaustive"
+    assert "EXHAUSTIVE" in report.summary()
+    failing = failing_report()
+    assert failing.outcome == "violation"
+
+
+def fresh_store(tmp_path):
+    from repro.core.store import ResultStore
+
+    return ResultStore(tmp_path / "store")
+
+
+def test_resumed_exploration_matches_an_uninterrupted_run(tmp_path):
+    store = fresh_store(tmp_path)
+    first = explore("snooping", nodes=2, lines=1, max_depth=1, store=store)
+    assert not first.complete and store.blob_stores > 0
+    resumed = explore("snooping", nodes=2, lines=1, store=store)
+    assert resumed.resumed and resumed.resumed_states == first.states
+    assert resumed.complete
+    oneshot = explore("snooping", nodes=2, lines=1)
+    assert resumed.visited_fingerprints == oneshot.visited_fingerprints
+    assert resumed.counters() == oneshot.counters()
+
+
+def test_completed_checkpoint_short_circuits(tmp_path):
+    store = fresh_store(tmp_path)
+    first = explore("snooping", nodes=2, lines=1, store=store)
+    assert first.complete and not first.resumed
+    cached = explore("snooping", nodes=2, lines=1, store=store)
+    assert cached.complete and cached.resumed
+    assert cached.states_expanded == first.states_expanded
+    assert cached.visited_fingerprints == first.visited_fingerprints
+    # The rerun expanded nothing: it answered from the checkpoint.
+    assert store.blob_hits >= 1
+
+
+def test_checkpoints_do_not_leak_across_setups(tmp_path):
+    store = fresh_store(tmp_path)
+    explore("snooping", nodes=2, lines=1, store=store)
+    other = explore("directory", nodes=2, lines=1, store=store)
+    assert not other.resumed
+    mutant = explore(
+        "snooping",
+        nodes=2,
+        lines=1,
+        store=store,
+        harness_factory=mutant_harness(DroppedInvalidationSnooping),
+    )
+    # The mutant must not reuse the clean engine's proof...
+    assert not mutant.resumed and not mutant.ok
+    # ...and a violation run must never checkpoint as explored.
+    clean = explore("snooping", nodes=2, lines=1, store=store)
+    assert clean.resumed and clean.ok
+
+
+def test_resume_can_be_disabled(tmp_path):
+    store = fresh_store(tmp_path)
+    explore("snooping", nodes=2, lines=1, store=store)
+    rerun = explore("snooping", nodes=2, lines=1, store=store, resume=False)
+    assert not rerun.resumed and rerun.complete
 
 
 # ----------------------------------------------------------------------

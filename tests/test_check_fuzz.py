@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.check import fuzz
+from repro.check import fuzz, fuzz_many
 from repro.check.fuzz import FuzzReport
+from repro.core.parallel import derive_seed
 from tests.test_check_explorer import (
     DroppedInvalidationSnooping,
+    ParallelMutantHarness,
     mutant_harness,
 )
 
@@ -69,3 +71,69 @@ def test_fuzz_catches_the_seeded_mutant_and_pins_the_step():
 def test_fuzz_rejects_unknown_protocol():
     with pytest.raises(ValueError):
         fuzz("hypercube", steps=1)
+
+
+# ----------------------------------------------------------------------
+# Sharded campaigns: derived seeds, serial == parallel
+# ----------------------------------------------------------------------
+def batch_facts(batch):
+    return [
+        (r.seed, r.steps_applied, r.violation_kind, r.failing_step)
+        for r in batch.reports
+    ]
+
+
+def test_fuzz_many_runs_walks_on_derived_seeds():
+    batch = fuzz_many(
+        "snooping", nodes=4, lines=8, steps=100, seed=3, num_seeds=3
+    )
+    assert batch.ok, batch.summary()
+    assert [r.seed for r in batch.reports] == [
+        derive_seed(3, i) for i in range(3)
+    ]
+    assert len({r.seed for r in batch.reports}) == 3
+    assert batch.steps_applied == 300
+
+
+def test_fuzz_many_parallel_matches_serial():
+    serial = fuzz_many(
+        "snooping", nodes=4, lines=8, steps=150, seed=9, num_seeds=4, jobs=1
+    )
+    parallel = fuzz_many(
+        "snooping", nodes=4, lines=8, steps=150, seed=9, num_seeds=4, jobs=2
+    )
+    assert batch_facts(serial) == batch_facts(parallel)
+    assert serial.summary() == parallel.summary()
+
+
+def test_fuzz_many_finds_mutant_violations_identically():
+    kwargs = dict(
+        nodes=4,
+        lines=4,
+        steps=600,
+        seed=1,
+        num_seeds=4,
+        harness_factory=ParallelMutantHarness,
+    )
+    serial = fuzz_many("snooping", jobs=1, **kwargs)
+    parallel = fuzz_many("snooping", jobs=2, **kwargs)
+    assert not serial.ok, "seeded bug missed by every walk in the batch"
+    assert batch_facts(serial) == batch_facts(parallel)
+    failure = serial.first_failure()
+    # Every finding replays as a plain fuzz() call with the derived
+    # seed -- the campaign is just a loop, not a different machine.
+    replay = fuzz(
+        "snooping",
+        nodes=4,
+        lines=4,
+        steps=600,
+        seed=failure.seed,
+        harness_factory=ParallelMutantHarness,
+    )
+    assert replay.failing_step == failure.failing_step
+    assert replay.violation_kind == failure.violation_kind
+
+
+def test_fuzz_many_rejects_bad_num_seeds():
+    with pytest.raises(ValueError):
+        fuzz_many("snooping", num_seeds=0)

@@ -123,7 +123,74 @@ def test_check_explore_all_protocols(capsys):
         )
         assert code == 0
         assert "0 violations" in out
-        assert "exhaustive" in out
+        assert "EXHAUSTIVE" in out
+
+
+def test_check_explore_hierarchical_parallel(capsys):
+    code, out = run_cli(
+        capsys,
+        "check",
+        "explore",
+        "--protocol",
+        "hierarchical",
+        "--nodes",
+        "4",
+        "--lines",
+        "1",
+        "--jobs",
+        "2",
+        "--require-exhaustive",
+    )
+    assert code == 0
+    assert "EXHAUSTIVE" in out
+
+
+def test_check_explore_require_exhaustive_rejects_truncation(capsys):
+    code, out = run_cli(
+        capsys,
+        "check",
+        "explore",
+        "--protocol",
+        "snooping",
+        "--nodes",
+        "2",
+        "--lines",
+        "1",
+        "--max-depth",
+        "1",
+        "--require-exhaustive",
+    )
+    assert code == 3
+    assert "TRUNCATED" in out
+
+
+def test_check_explore_resume_uses_the_store(capsys, tmp_path):
+    from repro.core.store import configure_result_store, get_result_store
+
+    argv = (
+        "check",
+        "explore",
+        "--protocol",
+        "snooping",
+        "--nodes",
+        "2",
+        "--lines",
+        "1",
+        "--resume",
+        "--cache-dir",
+        str(tmp_path),
+    )
+    previous = get_result_store()
+    try:
+        code, out = run_cli(capsys, *argv)
+        assert code == 0 and "EXHAUSTIVE" in out
+        code, out = run_cli(capsys, *argv)
+        assert code == 0
+        assert "resumed from" in out
+    finally:
+        # --cache-dir reconfigures the process-wide store; put the
+        # session's isolated store back for the tests that follow.
+        configure_result_store(previous.directory, enabled=previous.enabled)
 
 
 def test_check_fuzz_smoke(capsys):
@@ -145,6 +212,31 @@ def test_check_fuzz_smoke(capsys):
     assert code == 0
     assert "0 violations" in out
     assert "seed 9" in out
+
+
+def test_check_fuzz_sharded_seeds(capsys):
+    code, out = run_cli(
+        capsys,
+        "check",
+        "fuzz",
+        "--protocol",
+        "directory",
+        "--nodes",
+        "4",
+        "--lines",
+        "8",
+        "--steps",
+        "100",
+        "--seed",
+        "9",
+        "--num-seeds",
+        "3",
+        "--jobs",
+        "2",
+    )
+    assert code == 0
+    assert "3 walks" in out
+    assert "base seed 9" in out
 
 
 def test_check_requires_a_verb():

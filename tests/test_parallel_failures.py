@@ -154,3 +154,95 @@ def test_store_cleanup_cli(tmp_path, capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "entries: 0" in out
+
+
+# ----------------------------------------------------------------------
+# The generic task pool behind the checker (map_tasks / TaskError)
+# ----------------------------------------------------------------------
+def _double(task):
+    return task * 2
+
+
+def _fail_on_three(task):
+    if task == 3:
+        raise ValueError("three is right out")
+    return task
+
+
+def test_map_tasks_preserves_order_serial_and_parallel():
+    from repro.core.parallel import map_tasks
+
+    tasks = list(range(7))
+    assert map_tasks(_double, tasks, jobs=1) == [t * 2 for t in tasks]
+    assert map_tasks(_double, tasks, jobs=3) == [t * 2 for t in tasks]
+    assert map_tasks(_double, [], jobs=3) == []
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_map_tasks_wraps_failures_with_the_task(jobs):
+    from repro.core.parallel import TaskError, map_tasks
+
+    with pytest.raises(TaskError) as excinfo:
+        map_tasks(_fail_on_three, [1, 2, 3, 4], jobs=jobs)
+    error = excinfo.value
+    assert error.index == 2
+    assert error.task == 3
+    assert error.__cause__ is not None
+    assert "three is right out" in str(error.__cause__)
+
+
+# ----------------------------------------------------------------------
+# Blob storage (explorer checkpoints ride on this)
+# ----------------------------------------------------------------------
+def test_blob_roundtrip_counts_and_persists(tmp_path):
+    from repro.core.store import ResultStore
+
+    store = ResultStore(tmp_path)
+    assert store.get_blob("explore", "k" * 64) is None
+    assert store.blob_misses == 1
+    payload = {"visited": {"a": 1}, "frontier": [[[0, 0, "w"]]]}
+    store.put_blob("explore", "k" * 64, payload)
+    assert store.blob_stores == 1
+    assert store.get_blob("explore", "k" * 64) == payload
+    assert store.blob_hits == 1
+    # A second store handle sees the same bytes (it really persisted).
+    assert ResultStore(tmp_path).get_blob("explore", "k" * 64) == payload
+
+
+def test_blob_api_is_inert_when_disabled(tmp_path):
+    from repro.core.store import ResultStore
+
+    store = ResultStore(tmp_path, enabled=False)
+    store.put_blob("explore", "key", {"x": 1})
+    assert store.get_blob("explore", "key") is None
+    assert store.blob_stores == 0
+
+
+def test_blob_corruption_reads_as_miss(tmp_path):
+    from repro.core.store import ResultStore
+
+    store = ResultStore(tmp_path)
+    store.put_blob("explore", "abc", {"x": 1})
+    (tmp_path / "explore" / "abc.json").write_text("{nope")
+    assert store.get_blob("explore", "abc") is None
+
+
+def test_blob_kind_validation(tmp_path):
+    from repro.core.store import ResultStore
+
+    store = ResultStore(tmp_path)
+    for bad in ("", "a/b", ".hidden"):
+        with pytest.raises(ValueError):
+            store.blob_dir(bad)
+
+
+def test_cleanup_sweeps_blob_directories_too(tmp_path):
+    from repro.core.store import ResultStore
+
+    store = ResultStore(tmp_path)
+    blobs = store.blob_dir("explore")
+    blobs.mkdir(parents=True, exist_ok=True)
+    stray = blobs / ".tmp-dead.json"
+    stray.write_text("{}")
+    removed = store.cleanup_stale_tmp(min_age_seconds=0.0)
+    assert removed >= 1 and not stray.exists()
