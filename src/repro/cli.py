@@ -11,6 +11,10 @@ Commands mirror the library's layers:
 * ``snooprate`` -- the closed-form Table 3.
 * ``benchmarks``-- list available workload configurations.
 * ``check``     -- coherence model checker (``explore`` / ``fuzz``).
+* ``serve``     -- the sweep-as-a-service daemon (``repro.serve``).
+* ``submit``    -- send a job to a running daemon and follow it.
+* ``jobs``      -- list a daemon's jobs and coalescing counters.
+* ``cancel``    -- detach one submission from its shared execution.
 """
 
 from __future__ import annotations
@@ -35,6 +39,10 @@ from repro.traces.benchmarks import available_configurations
 __all__ = ["main", "build_parser"]
 
 _PROTOCOLS = {protocol.value: protocol for protocol in Protocol}
+
+#: Where ``repro submit``/``jobs``/``cancel`` look for the daemon when
+#: ``--url`` is omitted (the default ``repro serve`` port).
+DEFAULT_SERVE_URL = "http://127.0.0.1:8787"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -298,6 +306,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FRACTION",
         help="override the gate tolerance (default 0.20)",
     )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output: suites, counters, timings and "
+        "(with --check) the regression verdict as one JSON object",
+    )
 
     check = commands.add_parser(
         "check",
@@ -471,6 +485,146 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-store directory "
         "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
+    info.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (one JSON object)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the sweep-as-a-service daemon",
+        description=(
+            "Start a long-lived HTTP/JSON daemon (repro.serve) that "
+            "accepts sweep/simulate/check/grid jobs, coalesces "
+            "identical in-flight submissions onto one execution, runs "
+            "simulations on a shared worker pool backed by the "
+            "persistent result store, and streams NDJSON progress.  "
+            "See docs/SERVING.md."
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1: loopback only)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="bind port (default 8787; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes in the shared simulation pool "
+        "(default 1: simulations run serially, in a thread)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent result-cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent on-disk result cache",
+    )
+
+    def add_client_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--url",
+            default=DEFAULT_SERVE_URL,
+            help=f"daemon endpoint (default {DEFAULT_SERVE_URL})",
+        )
+        sub.add_argument(
+            "--json",
+            action="store_true",
+            help="machine-readable output (one JSON object)",
+        )
+
+    submit = commands.add_parser(
+        "submit",
+        help="submit a job to a running daemon and follow it",
+        description=(
+            "Send one job to 'repro serve' and (by default) stream its "
+            "progress until it finishes, then print the result.  Omitted "
+            "options take the daemon's defaults; the server validates "
+            "everything."
+        ),
+    )
+    add_client_arguments(submit)
+    submit.add_argument(
+        "kind",
+        choices=("sweep", "simulate", "check", "grid"),
+        help="job kind",
+    )
+    submit.add_argument(
+        "benchmark",
+        nargs="?",
+        default=None,
+        help="workload name (sweep/simulate/grid jobs)",
+    )
+    submit.add_argument("-p", "--processors", type=int, default=None)
+    submit.add_argument("-r", "--refs", type=int, default=None)
+    submit.add_argument(
+        "--protocol",
+        default=None,
+        help="simulation protocol, or the checker's for 'check' jobs",
+    )
+    submit.add_argument(
+        "--seed", type=int, default=None, help="config seed (simulate)"
+    )
+    submit.add_argument(
+        "--cycles",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="NS",
+        help="processor-cycle axis in ns (sweep/grid)",
+    )
+    submit.add_argument(
+        "--param",
+        action="append",
+        nargs="+",
+        default=None,
+        metavar=("NAME", "VALUE"),
+        help="a grid parameter axis: name followed by values; repeatable",
+    )
+    submit.add_argument("--nodes", type=int, default=None, help="(check)")
+    submit.add_argument("--lines", type=int, default=None, help="(check)")
+    submit.add_argument(
+        "--max-depth", type=int, default=None, help="(check)"
+    )
+    submit.add_argument(
+        "--max-states", type=int, default=None, help="(check)"
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without following",
+    )
+
+    jobs_cmd = commands.add_parser(
+        "jobs", help="list a running daemon's jobs"
+    )
+    add_client_arguments(jobs_cmd)
+
+    cancel = commands.add_parser(
+        "cancel",
+        help="cancel one submission on a running daemon",
+        description=(
+            "Detach one job from its execution.  A coalesced execution "
+            "keeps running for its other subscribers; cancelling the "
+            "last subscriber cancels the shared execution itself."
+        ),
+    )
+    add_client_arguments(cancel)
+    cancel.add_argument("job", help="job id (as printed by submit/jobs)")
     return parser
 
 
@@ -856,12 +1010,16 @@ def _command_bench(args: argparse.Namespace) -> int:
         else perf_bench.DEFAULT_TOLERANCE
     )
     problems = []
+    reports = []
     for suite in suites:
         report = perf_bench.run_suite(suite, quick=args.quick)
-        print(report.render())
+        reports.append(report)
+        if not args.json:
+            print(report.render())
         if args.baseline:
             path = perf_bench.write_baseline(report, args.baseline_dir)
-            print(f"  baseline -> {path}")
+            if not args.json:
+                print(f"  baseline -> {path}")
         elif args.check:
             baseline = perf_bench.load_baseline(suite, args.baseline_dir)
             if baseline is None:
@@ -877,13 +1035,28 @@ def _command_bench(args: argparse.Namespace) -> int:
                     report, baseline, tolerance=tolerance
                 )
             )
-    if args.check and not args.baseline:
+    checked = args.check and not args.baseline
+    if args.json:
+        import json
+
+        payload = {
+            "suites": [report.to_jsonable() for report in reports],
+            "checked": checked,
+        }
+        if checked:
+            payload["ok"] = not problems
+            payload["problems"] = problems
+            payload["tolerance"] = tolerance
+        print(json.dumps(payload, indent=2))
+    if checked:
         if problems:
-            print("perf regression check FAILED:", file=sys.stderr)
-            for problem in problems:
-                print(f"  {problem}", file=sys.stderr)
+            if not args.json:
+                print("perf regression check FAILED:", file=sys.stderr)
+                for problem in problems:
+                    print(f"  {problem}", file=sys.stderr)
             return 2
-        print(f"perf regression check passed ({', '.join(suites)})")
+        if not args.json:
+            print(f"perf regression check passed ({', '.join(suites)})")
     return 0
 
 
@@ -995,8 +1168,233 @@ def _command_store(args: argparse.Namespace) -> int:
             f"{store.results_dir}"
         )
         return 0
-    print(f"store:   {store.directory}")
-    print(f"entries: {store.entry_count()}")
+    info = store.info()
+    # "enabled" describes this (deliberately inert) inspection handle,
+    # not the directory being inspected -- drop it rather than mislead.
+    info.pop("enabled", None)
+    if args.json:
+        import json
+
+        print(json.dumps(info, indent=2))
+        return 0
+    print(f"store: {info['directory']}")
+    print(f"entries: {info['entries']}")
+    print(f"temp files: {info['tmp_files']}")
+    if info["blobs"]:
+        blobs = " ".join(
+            f"{kind}={count}" for kind, count in sorted(info["blobs"].items())
+        )
+        print(f"blobs: {blobs}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeDaemon
+
+    daemon = ServeDaemon(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+    async def _main() -> None:
+        await daemon.start()
+        print(
+            f"repro serve: listening on {daemon.url} "
+            f"(workers={daemon.jobs})",
+            file=sys.stderr,
+        )
+        await daemon.serve()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted", file=sys.stderr)
+    return 0
+
+
+def _submit_spec(args: argparse.Namespace) -> dict:
+    """The submission payload; only user-set fields are sent, so the
+    daemon's defaulting stays the single source of truth."""
+    spec: dict = {"kind": args.kind}
+    if args.benchmark is not None:
+        spec["benchmark"] = args.benchmark
+    for field, value in (
+        ("processors", args.processors),
+        ("data_refs", args.refs),
+        ("protocol", args.protocol),
+        ("seed", args.seed),
+        ("cycles_ns", args.cycles),
+        ("nodes", args.nodes),
+        ("lines", args.lines),
+        ("max_depth", args.max_depth),
+        ("max_states", args.max_states),
+    ):
+        if value is not None:
+            spec[field] = value
+    if args.param:
+        axes = {}
+        for axis in args.param:
+            if len(axis) < 2:
+                raise SystemExit(
+                    f"--param {axis[0]}: needs at least one value"
+                )
+            axes[axis[0]] = [int(value) for value in axis[1:]]
+        spec["parameters"] = axes
+    return spec
+
+
+def _print_submit_result(kind: str, result: dict) -> None:
+    if kind in ("sweep", "grid"):
+        rows = [
+            {
+                "cycle (ns)": point["processor_cycle_ns"],
+                "MIPS": round(point["mips"]),
+                "proc util": round(point["processor_utilization"], 3),
+                "net util": round(point["network_utilization"], 3),
+                "miss latency (ns)": round(
+                    point["shared_miss_latency_ns"], 1
+                ),
+            }
+            for point in result.get("points", result.get("operating_points"))
+        ]
+        print(render_table(rows, title=result.get("label", kind)))
+    elif kind == "check":
+        print(result["summary"])
+    elif kind == "simulate":
+        print(
+            "processor utilization : "
+            f"{result['processor_utilization']:.1%}"
+        )
+        print(
+            "network utilization   : "
+            f"{result['network_utilization']:.1%}"
+        )
+        print(
+            "shared-miss latency   : "
+            f"{result['shared_miss_latency_ns']:.0f} ns"
+        )
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        job = client.submit(_submit_spec(args))
+    except (ServeError, OSError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 2
+    coalesced = "true" if job["coalesced"] else "false"
+    print(
+        f"submitted job={job['job']} kind={job['kind']} "
+        f"coalesced={coalesced} to {args.url}",
+        file=sys.stderr,
+    )
+    if args.no_wait:
+        print(job["job"])
+        return 0
+    try:
+        for event in client.events(job["job"]):
+            if event["event"] == "point":
+                source = (
+                    "cache hit" if event["cache_hit"] else "simulated"
+                )
+                suffix = (
+                    f" FAILED: {event['error']}" if "error" in event else ""
+                )
+                print(
+                    f"[{event['done']}/{event['total']}] "
+                    f"{event['benchmark']}@{event['processors']}p "
+                    f"{event['protocol']}: {source} in "
+                    f"{event['wall_s']:.2f}s{suffix}",
+                    file=sys.stderr,
+                )
+        final = client.job(job["job"])
+    except (ServeError, OSError) as exc:
+        print(f"follow failed: {exc}", file=sys.stderr)
+        return 2
+    done = final["state"] == "done"
+    if args.json:
+        payload = dict(final)
+        if done:
+            payload["result"] = client.result(job["job"])
+        print(json.dumps(payload, indent=2))
+        return 0 if done else 1
+    print(
+        f"job={final['job']} state={final['state']} "
+        f"simulated={final['simulated']} cache_hits={final['cache_hits']} "
+        f"coalesced={coalesced}"
+    )
+    if done:
+        _print_submit_result(final["kind"], client.result(job["job"]))
+    elif final.get("error"):
+        print(f"error: {final['error']}", file=sys.stderr)
+    return 0 if done else 1
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        jobs = client.jobs()
+        stats = client.stats()
+    except (ServeError, OSError) as exc:
+        print(f"jobs query failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({"jobs": jobs, "stats": stats}, indent=2))
+        return 0
+    if jobs:
+        rows = [
+            {
+                "job": job["job"],
+                "kind": job["kind"],
+                "state": job["state"],
+                "points": f"{job['done_points']}/{job['total_points']}",
+                "simulated": job["simulated"],
+                "cache hits": job["cache_hits"],
+                "coalesced": "yes" if job["coalesced"] else "",
+            }
+            for job in jobs
+        ]
+        print(render_table(rows, title=f"Jobs on {args.url}"))
+    else:
+        print(f"no jobs on {args.url}")
+    print(
+        f"submitted={stats['submitted']} coalesced={stats['coalesced']} "
+        f"executions_started={stats['executions_started']} "
+        f"completed={stats['completed']} failed={stats['failed']} "
+        f"inflight={stats['inflight']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_cancel(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        job = client.cancel(args.job)
+    except (ServeError, OSError) as exc:
+        print(f"cancel failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(job, indent=2))
+        return 0
+    print(f"job={job['job']} state={job['state']}")
     return 0
 
 
@@ -1012,6 +1410,10 @@ _HANDLERS = {
     "bench": _command_bench,
     "check": _command_check,
     "store": _command_store,
+    "serve": _command_serve,
+    "submit": _command_submit,
+    "jobs": _command_jobs,
+    "cancel": _command_cancel,
 }
 
 

@@ -31,6 +31,7 @@ after ``--jobs N`` runs).
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
@@ -48,8 +49,10 @@ from repro.core.results import SimulationResult
 __all__ = [
     "SweepPoint",
     "PointOutcome",
+    "PointScheduler",
     "SweepReport",
     "SweepPointError",
+    "SweepCancelled",
     "TaskError",
     "derive_seed",
     "execute_points",
@@ -206,16 +209,29 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class PointOutcome:
-    """Execution record for one sweep point."""
+    """Execution record for one sweep point.
+
+    A point settles exactly once, successfully (``result`` set,
+    ``error`` ``None``) or not (``error`` set, ``result`` ``None``) --
+    failed points still produce an outcome so progress sinks observe
+    every settled point, but they are not recorded as completed (a
+    resumed scheduler retries them).
+    """
 
     point: SweepPoint
-    result: SimulationResult
+    result: Optional[SimulationResult]
     #: Whether any cache layer (memo or disk) supplied the result.
     cache_hit: bool
     #: Wall-clock seconds spent obtaining the result (lookup or run).
     wall_s: float
     #: Index of the worker that ran the point (0 for in-process).
     worker: int
+    #: ``"ExcType: message"`` when the point failed, else ``None``.
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 @dataclass
@@ -316,6 +332,281 @@ def _evaluate_point(
 # ----------------------------------------------------------------------
 ProgressCallback = Callable[[int, int, PointOutcome], None]
 
+#: How often the pool loop wakes to notice an external cancel request.
+_CANCEL_POLL_S = 0.2
+
+
+class SweepCancelled(RuntimeError):
+    """The scheduler was cancelled before every point settled.
+
+    Outcomes that completed before the cancel remain available on
+    :attr:`PointScheduler.outcomes`, so a later scheduler can resume
+    from them.
+    """
+
+
+class PointScheduler:
+    """Resumable, cancellable executor for a set of sweep points.
+
+    This is the engine behind :func:`execute_points` (which remains
+    the one-shot convenience shim) and the unit of work the serving
+    daemon (:mod:`repro.serve`) schedules jobs onto.  On top of the
+    plain fan-out it guarantees:
+
+    * **Exactly-once, monotonic progress.**  The ``progress`` sink is
+      invoked exactly once per settled point -- cache hits, simulated
+      points and *failed* points alike -- as
+      ``progress(done, total, outcome)`` with ``done`` strictly
+      increasing by one per event.  A failed point's outcome carries
+      ``error`` (and no result); points that never settled (cancelled
+      behind a failure) emit nothing.
+    * **Cancellation.**  :meth:`cancel` (any thread) stops the run at
+      the next point boundary: queued pool futures are cancelled,
+      in-flight points finish in their workers (their results are
+      discarded but still land in the persistent store), and
+      :meth:`run` raises :class:`SweepCancelled`.
+    * **Resumability.**  ``completed`` pre-fills outcomes from an
+      earlier (cancelled) run; those points are skipped, emit no new
+      progress events, and still appear in the final report.
+    * **Pool sharing.**  ``pool`` runs the points on an external,
+      long-lived ``ProcessPoolExecutor`` (the daemon's shared worker
+      pool) instead of creating and tearing one down per run.  The
+      caller is then responsible for having initialised the workers'
+      result store compatibly (see :func:`_worker_init`).
+    """
+
+    def __init__(
+        self,
+        points: Sequence[SweepPoint],
+        jobs: int = 1,
+        cache_dir: "Optional[str | os.PathLike]" = None,
+        use_cache: bool = True,
+        progress: Optional[ProgressCallback] = None,
+        completed: Optional[Dict[int, PointOutcome]] = None,
+        pool: Optional[ProcessPoolExecutor] = None,
+    ) -> None:
+        self.points = list(points)
+        self.jobs = max(1, jobs)
+        self.cache_dir = cache_dir
+        self.use_cache = use_cache
+        self.progress = progress
+        self._pool = pool
+        self._cancel = threading.Event()
+        self._slots: List[Optional[PointOutcome]] = [None] * len(self.points)
+        self._emitted = [False] * len(self.points)
+        self._done = 0
+        if completed:
+            for index, outcome in completed.items():
+                if not 0 <= index < len(self.points):
+                    raise IndexError(
+                        f"completed outcome index {index} out of range"
+                    )
+                if outcome.failed:
+                    continue  # failed points are retried, not resumed
+                self._slots[index] = outcome
+                self._emitted[index] = True
+                self._done += 1
+
+    # ------------------------------------------------------------------
+    def cancel(self) -> None:
+        """Request a stop at the next point boundary (thread-safe)."""
+        self._cancel.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel.is_set()
+
+    @property
+    def done(self) -> int:
+        """Points settled so far (monotonic; includes pre-filled ones)."""
+        return self._done
+
+    @property
+    def total(self) -> int:
+        return len(self.points)
+
+    @property
+    def outcomes(self) -> Dict[int, PointOutcome]:
+        """Completed outcomes by point index (the resume payload)."""
+        return {
+            index: outcome
+            for index, outcome in enumerate(self._slots)
+            if outcome is not None
+        }
+
+    # ------------------------------------------------------------------
+    def _settle(self, index: int, outcome: PointOutcome) -> None:
+        """Record one settled point and emit its progress event."""
+        self._done += 1
+        if not outcome.failed:
+            self._slots[index] = outcome
+        if self.progress is not None and not self._emitted[index]:
+            self._emitted[index] = True
+            self.progress(self._done, len(self.points), outcome)
+
+    def _check_cancel(self) -> None:
+        if self._cancel.is_set():
+            raise SweepCancelled(
+                f"cancelled after {self._done}/{len(self.points)} points"
+            )
+
+    def run(self) -> SweepReport:
+        """Evaluate every pending point; see :func:`execute_points`."""
+        from repro.core import store as store_module
+
+        report = SweepReport(jobs=self.jobs)
+        if not self.points:
+            return report
+        started = time.perf_counter()
+        pending_points = [
+            (index, point)
+            for index, point in enumerate(self.points)
+            if self._slots[index] is None
+        ]
+
+        previous_store = store_module._ACTIVE_STORE
+        overrode_store = self.cache_dir is not None or not self.use_cache
+        if overrode_store:
+            store = store_module.configure_result_store(
+                os.fspath(self.cache_dir)
+                if self.cache_dir is not None
+                else None,
+                enabled=self.use_cache,
+            )
+        else:
+            store = store_module.get_result_store()
+
+        owns_pool = self._pool is None
+        failed = False
+        try:
+            self._check_cancel()
+            if owns_pool and self.jobs == 1:
+                self._run_serial(pending_points)
+            else:
+                self._run_pooled(pending_points, store, owns_pool)
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            if failed and store.enabled and owns_pool:
+                # Interrupted workers can strand half-written temp
+                # files; an external pool's workers are still alive,
+                # so their temps are left for the age-guarded sweep.
+                store.cleanup_stale_tmp()
+            if overrode_store:
+                store_module._ACTIVE_STORE = previous_store
+
+        report.outcomes = [
+            outcome for outcome in self._slots if outcome is not None
+        ]
+        report.total_wall_s = time.perf_counter() - started
+        for outcome in report.outcomes:
+            prime_simulation_cache(
+                outcome.point.benchmark,
+                outcome.point.data_refs,
+                outcome.point.resolved_config(),
+                outcome.result,
+            )
+        return report
+
+    def _run_serial(
+        self, pending_points: List[Tuple[int, SweepPoint]]
+    ) -> None:
+        for index, point in pending_points:
+            self._check_cancel()
+            point_started = time.perf_counter()
+            try:
+                _, result, hit, wall, pid = _evaluate_point((index, point))
+            except Exception as exc:
+                self._settle(
+                    index,
+                    PointOutcome(
+                        point,
+                        None,
+                        False,
+                        time.perf_counter() - point_started,
+                        worker=0,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+                raise SweepPointError(index, point, exc) from exc
+            self._settle(index, PointOutcome(point, result, hit, wall, 0))
+
+    def _run_pooled(
+        self,
+        pending_points: List[Tuple[int, SweepPoint]],
+        store,
+        owns_pool: bool,
+    ) -> None:
+        if not pending_points:
+            return
+        if owns_pool:
+            worker_dir = (
+                os.fspath(store.directory) if store.enabled else None
+            )
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending_points)),
+                initializer=_worker_init,
+                initargs=(worker_dir, store.enabled, store._generation),
+            )
+        else:
+            pool = self._pool
+        # future -> input index, so a failure can be attributed to the
+        # point (and seed) that caused it.
+        pending = {
+            pool.submit(_evaluate_point, (index, point)): index
+            for index, point in pending_points
+        }
+        workers: Dict[int, int] = {}
+        try:
+            while pending:
+                self._check_cancel()
+                finished, _ = wait(
+                    pending,
+                    timeout=_CANCEL_POLL_S,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in finished:
+                    failed_index = pending.pop(future)
+                    try:
+                        index, result, hit, wall, pid = future.result()
+                    except Exception as exc:
+                        point = self.points[failed_index]
+                        self._settle(
+                            failed_index,
+                            PointOutcome(
+                                point,
+                                None,
+                                False,
+                                0.0,
+                                worker=0,
+                                error=f"{type(exc).__name__}: {exc}",
+                            ),
+                        )
+                        raise SweepPointError(
+                            failed_index, point, exc
+                        ) from exc
+                    worker = workers.setdefault(pid, len(workers))
+                    self._settle(
+                        index,
+                        PointOutcome(
+                            self.points[index], result, hit, wall, worker
+                        ),
+                    )
+        except BaseException:
+            # Don't keep simulating points whose results will be
+            # discarded; queued work is cancelled and (for an owned
+            # pool) running workers are awaited so none outlive the
+            # sweep.  A shared pool stays up for its other clients.
+            for future in pending:
+                future.cancel()
+            if owns_pool:
+                pool.shutdown(wait=True, cancel_futures=True)
+            raise
+        else:
+            if owns_pool:
+                pool.shutdown(wait=True)
+
 
 def execute_points(
     points: Sequence[SweepPoint],
@@ -332,8 +623,10 @@ def execute_points(
     store is reinstated afterwards); ``use_cache=False`` disables the
     persistent layer (results still flow back and prime the parent
     memo).  ``progress`` is invoked in the parent as
-    ``progress(done, total, outcome)`` after each point completes
-    (completion order, not input order).
+    ``progress(done, total, outcome)`` after each point settles
+    (completion order, not input order) -- exactly once per point,
+    with ``done`` strictly increasing, including cache hits and the
+    failing point of an aborted sweep (see :class:`PointScheduler`).
 
     Returns a :class:`SweepReport` whose ``results`` are ordered like
     ``points``.
@@ -343,112 +636,18 @@ def execute_points(
     naming the failing point (and its seed) propagates with the worker
     exception as its cause.  Stale ``.tmp-*.json`` files left in the
     store by interrupted writers are cleaned up on the way out.
+
+    This is the one-shot convenience shim over
+    :class:`PointScheduler`; callers needing cancellation, resume or
+    a shared pool use the scheduler directly.
     """
-    from repro.core import store as store_module
-
-    points = list(points)
-    report = SweepReport(jobs=max(1, jobs))
-    if not points:
-        return report
-    started = time.perf_counter()
-    slots: List[Optional[PointOutcome]] = [None] * len(points)
-    done = 0
-
-    previous_store = store_module._ACTIVE_STORE
-    overrode_store = cache_dir is not None or not use_cache
-    if overrode_store:
-        store = store_module.configure_result_store(
-            os.fspath(cache_dir) if cache_dir is not None else None,
-            enabled=use_cache,
-        )
-    else:
-        store = store_module.get_result_store()
-    worker_dir = os.fspath(store.directory) if store.enabled else None
-
-    failed = False
-    try:
-        if report.jobs == 1:
-            for index, point in enumerate(points):
-                try:
-                    _, result, hit, wall, pid = _evaluate_point(
-                        (index, point)
-                    )
-                except Exception as exc:
-                    raise SweepPointError(index, point, exc) from exc
-                outcome = PointOutcome(point, result, hit, wall, worker=0)
-                slots[index] = outcome
-                done += 1
-                if progress is not None:
-                    progress(done, len(points), outcome)
-        else:
-            pool_cm = ProcessPoolExecutor(
-                max_workers=report.jobs,
-                initializer=_worker_init,
-                initargs=(worker_dir, store.enabled, store._generation),
-            )
-            with pool_cm as pool:
-                # future -> input index, so a failure can be attributed
-                # to the point (and seed) that caused it.
-                pending = {
-                    pool.submit(_evaluate_point, (index, point)): index
-                    for index, point in enumerate(points)
-                }
-                workers: Dict[int, int] = {}
-                try:
-                    while pending:
-                        finished, _ = wait(
-                            pending, return_when=FIRST_COMPLETED
-                        )
-                        for future in finished:
-                            failed_index = pending.pop(future)
-                            try:
-                                index, result, hit, wall, pid = (
-                                    future.result()
-                                )
-                            except Exception as exc:
-                                raise SweepPointError(
-                                    failed_index, points[failed_index], exc
-                                ) from exc
-                            worker = workers.setdefault(pid, len(workers))
-                            outcome = PointOutcome(
-                                points[index],
-                                result,
-                                hit,
-                                wall,
-                                worker=worker,
-                            )
-                            slots[index] = outcome
-                            done += 1
-                            if progress is not None:
-                                progress(done, len(points), outcome)
-                except BaseException:
-                    # Don't keep simulating points whose results will be
-                    # discarded; queued work is cancelled and running
-                    # workers are awaited so none outlive the sweep.
-                    for future in pending:
-                        future.cancel()
-                    pool.shutdown(wait=True, cancel_futures=True)
-                    raise
-    except BaseException:
-        failed = True
-        raise
-    finally:
-        if failed and store.enabled:
-            # Interrupted workers can strand half-written temp files.
-            store.cleanup_stale_tmp()
-        if overrode_store:
-            store_module._ACTIVE_STORE = previous_store
-
-    report.outcomes = [outcome for outcome in slots if outcome is not None]
-    report.total_wall_s = time.perf_counter() - started
-    for outcome in report.outcomes:
-        prime_simulation_cache(
-            outcome.point.benchmark,
-            outcome.point.data_refs,
-            outcome.point.resolved_config(),
-            outcome.result,
-        )
-    return report
+    return PointScheduler(
+        points,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+    ).run()
 
 
 def point_results(

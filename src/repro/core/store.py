@@ -332,6 +332,8 @@ class ResultStore:
         self.blob_hits = 0
         self.blob_misses = 0
         self.blob_stores = 0
+        #: Writes whose final rename lost a race (see :meth:`_publish`).
+        self.lost_writes = 0
         if enabled:
             # Opening a store is the natural amortisation point for
             # sweeping temp files stranded by crashed writers; the age
@@ -395,23 +397,51 @@ class ResultStore:
         """Persist one JSON blob (atomic rename; no-op when disabled)."""
         if not self.enabled:
             return
-        directory = self.blob_dir(kind)
-        directory.mkdir(parents=True, exist_ok=True)
         serialized = json.dumps(payload, sort_keys=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=directory, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(serialized)
-            os.replace(tmp_name, directory / f"{key}.json")
-        except BaseException:
+        if self._publish(self.blob_dir(kind), f"{key}.json", serialized):
+            self.blob_stores += 1
+
+    def _publish(
+        self, directory: pathlib.Path, name: str, serialized: str
+    ) -> bool:
+        """Atomically write ``serialized`` to ``directory/name``.
+
+        Safe against concurrent cross-process writers and maintenance:
+        each writer serialises to its own temp file and the final
+        ``os.replace`` is last-writer-wins.  A writer racing a
+        concurrent ``purge``/directory removal recreates the directory
+        and retries once; a write that still cannot land is counted in
+        :attr:`lost_writes` and dropped rather than raised -- the store
+        is a cache, and identical-content writers make a lost rename
+        harmless.  Returns whether this writer's content was published.
+        """
+        for attempt in (0, 1):
             try:
-                os.unlink(tmp_name)
+                directory.mkdir(parents=True, exist_ok=True)
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=directory, prefix=".tmp-", suffix=".json"
+                )
             except OSError:
-                pass
-            raise
-        self.blob_stores += 1
+                if attempt:
+                    self.lost_writes += 1
+                    return False
+                continue
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(serialized)
+                os.replace(tmp_name, directory / name)
+                return True
+            except BaseException as error:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                if not isinstance(error, OSError):
+                    raise
+                if attempt:
+                    self.lost_writes += 1
+                    return False
+        return False
 
     # ------------------------------------------------------------------
     def get(
@@ -444,23 +474,10 @@ class ResultStore:
         """Persist one result (atomic rename; no-op when disabled)."""
         if not self.enabled:
             return
-        self.results_dir.mkdir(parents=True, exist_ok=True)
-        path = self._path_for(self.key_for(benchmark, data_refs, config))
+        key = self.key_for(benchmark, data_refs, config)
         payload = json.dumps(result_to_jsonable(result), sort_keys=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.results_dir, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        self.stores += 1
+        if self._publish(self.results_dir, f"{key}.json", payload):
+            self.stores += 1
 
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
@@ -525,6 +542,32 @@ class ResultStore:
             return 0
         return sum(1 for _ in self.results_dir.glob("*.json"))
 
+    def tmp_count(self) -> int:
+        """Number of in-flight/orphaned temp files across all families."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/.tmp-*.json"))
+
+    def info(self) -> Dict[str, Any]:
+        """Machine-readable store state (``repro store info --json``,
+        the daemon's ``/store/info``)."""
+        blob_kinds = {}
+        if self.directory.is_dir():
+            for child in sorted(self.directory.iterdir()):
+                if child.is_dir() and child.name != "results":
+                    blob_kinds[child.name] = sum(
+                        1
+                        for path in child.glob("*.json")
+                        if not path.name.startswith(".tmp-")
+                    )
+        return {
+            "directory": str(self.directory),
+            "enabled": self.enabled,
+            "entries": self.entry_count(),
+            "tmp_files": self.tmp_count(),
+            "blobs": blob_kinds,
+        }
+
     def counters(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
@@ -533,6 +576,7 @@ class ResultStore:
             "blob_hits": self.blob_hits,
             "blob_misses": self.blob_misses,
             "blob_stores": self.blob_stores,
+            "lost_writes": self.lost_writes,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,145 @@
+"""A stdlib client for the serving daemon.
+
+Thin, synchronous, and dependency-free (``http.client``), so the CLI,
+the tests and the CI smoke job all speak to the daemon the same way.
+Every method raises :class:`ServeError` on a non-2xx status, carrying
+the daemon's ``error`` message; streaming endpoints yield decoded
+NDJSON events until the daemon closes the connection.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, Optional
+from urllib.parse import urlsplit
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with an error status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """One daemon endpoint (``http://host:port``), stdlib-only."""
+
+    def __init__(self, url: str, timeout: float = 600.0) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {parts.scheme!r}")
+        if not parts.hostname:
+            raise ValueError(f"no host in daemon url {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw) if raw else None
+            if response.status >= 400:
+                message = (
+                    decoded.get("error", raw.decode("utf-8", "replace"))
+                    if isinstance(decoded, dict)
+                    else raw.decode("utf-8", "replace")
+                )
+                raise ServeError(response.status, message)
+            return decoded
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit one job; returns the job record (``job``, ``state``,
+        ``coalesced``, ...)."""
+        return self._request("POST", "/jobs", spec)
+
+    def jobs(self) -> Any:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Any:
+        """The finished job's result payload (:class:`ServeError` 409
+        while it is still running)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream the job's NDJSON progress events until terminal."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", f"/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw)["error"]
+                except (ValueError, KeyError, TypeError):
+                    message = raw.decode("utf-8", "replace")
+                raise ServeError(response.status, message)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str) -> Dict[str, Any]:
+        """Follow the event stream to its end; returns the final job
+        record (whose ``state`` is terminal)."""
+        for _event in self.events(job_id):
+            pass
+        return self.job(job_id)
+
+    # ------------------------------------------------------------------
+    # Daemon and store management
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def store_info(self) -> Dict[str, Any]:
+        return self._request("GET", "/store/info")
+
+    def store_cleanup(self, min_age_s: float = 0.0) -> Dict[str, Any]:
+        return self._request(
+            "POST", "/store/cleanup", {"min_age_s": min_age_s}
+        )
+
+    def store_purge(self) -> Dict[str, Any]:
+        return self._request("POST", "/store/purge")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request("POST", "/shutdown")

@@ -1,0 +1,380 @@
+"""Wire protocol of the sweep-as-a-service daemon.
+
+Everything a client and the daemon agree on lives here: the job kinds,
+the JSON schema of a submission, how a submission is canonicalised and
+fingerprinted for request coalescing, and the shape of result
+payloads.  The module is pure data transformation -- no sockets, no
+scheduling -- so both sides (and the tests) share one source of truth.
+
+Job kinds mirror the CLI's experiment families:
+
+* ``sweep``    -- one hybrid-methodology curve (extraction simulation
+  plus the analytical model's cycle sweep), the ``repro sweep`` verb.
+* ``simulate`` -- one trace-driven simulation, full result payload
+  including telemetry histograms.
+* ``check``    -- an exhaustive coherence exploration, reusing the
+  explorer's store-backed checkpoints.
+* ``grid``     -- a vectorized design surface (needs NumPy).
+
+**Coalescing fingerprints.**  A submission is identified by a content
+hash: for simulation-backed kinds, the :meth:`ResultStore.key_for`
+fingerprint of every underlying sweep point (the same hash that keys
+the persistent store) combined with the model-side parameters; for
+``check``, the canonical spec itself.  Two submissions share a
+fingerprint exactly when executing one can serve both -- that is the
+invariant the daemon's request coalescing rests on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import Protocol
+from repro.core.experiment import DEFAULT_DATA_REFS
+
+__all__ = [
+    "JOB_KINDS",
+    "CHECK_PROTOCOLS",
+    "JobSpec",
+    "SpecError",
+    "parse_spec",
+    "points_for",
+    "spec_fingerprint",
+    "sweep_payload",
+    "simulate_payload",
+    "check_payload",
+    "grid_payload",
+    "operating_point_row",
+]
+
+JOB_KINDS = ("sweep", "simulate", "check", "grid")
+
+#: The model checker's protocol names (its bus/hierarchical harnesses
+#: are distinct from the simulation Protocol enum).
+CHECK_PROTOCOLS = (
+    "snooping",
+    "directory",
+    "linkedlist",
+    "bus",
+    "hierarchical",
+)
+
+_SIM_PROTOCOLS = {protocol.value for protocol in Protocol}
+
+
+class SpecError(ValueError):
+    """A submission failed validation; the message is client-facing."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated, canonicalised job submission.
+
+    ``params`` is fully defaulted: two submissions that mean the same
+    job have equal params, which is what makes the fingerprint (and
+    therefore coalescing) reliable.
+    """
+
+    kind: str
+    params: Dict[str, Any]
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        payload = {"kind": self.kind}
+        payload.update(self.params)
+        return payload
+
+
+def _require(payload: Dict[str, Any], field: str) -> Any:
+    try:
+        return payload[field]
+    except KeyError:
+        raise SpecError(f"missing required field {field!r}") from None
+
+
+def _int_field(
+    payload: Dict[str, Any], field: str, default: int, minimum: int = 1
+) -> int:
+    value = payload.get(field, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise SpecError(f"{field} must be an integer, got {value!r}")
+    if value < minimum:
+        raise SpecError(f"{field} must be >= {minimum}, got {value}")
+    return value
+
+
+def _bool_field(payload: Dict[str, Any], field: str, default: bool) -> bool:
+    value = payload.get(field, default)
+    if not isinstance(value, bool):
+        raise SpecError(f"{field} must be a boolean, got {value!r}")
+    return value
+
+
+def _cycles_field(payload: Dict[str, Any]) -> Optional[List[float]]:
+    cycles = payload.get("cycles_ns")
+    if cycles is None:
+        return None
+    if not isinstance(cycles, list) or not cycles:
+        raise SpecError("cycles_ns must be a non-empty list of numbers")
+    out: List[float] = []
+    for value in cycles:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SpecError(f"cycles_ns entries must be numbers: {value!r}")
+        if value <= 0:
+            raise SpecError(f"cycles_ns entries must be positive: {value!r}")
+        out.append(float(value))
+    return out
+
+
+def _workload_params(payload: Dict[str, Any]) -> Dict[str, Any]:
+    benchmark = _require(payload, "benchmark")
+    if not isinstance(benchmark, str) or not benchmark:
+        raise SpecError("benchmark must be a non-empty string")
+    protocol = payload.get("protocol", Protocol.SNOOPING.value)
+    if protocol not in _SIM_PROTOCOLS:
+        raise SpecError(
+            f"unknown protocol {protocol!r}; "
+            f"expected one of {sorted(_SIM_PROTOCOLS)}"
+        )
+    return {
+        "benchmark": benchmark,
+        "processors": _int_field(payload, "processors", 16),
+        "protocol": protocol,
+        "data_refs": _int_field(payload, "data_refs", DEFAULT_DATA_REFS),
+    }
+
+
+def _parse_sweep(payload: Dict[str, Any]) -> Dict[str, Any]:
+    params = _workload_params(payload)
+    params["cycles_ns"] = _cycles_field(payload)
+    params["use_grid"] = payload.get("use_grid")
+    if params["use_grid"] is not None and not isinstance(
+        params["use_grid"], bool
+    ):
+        raise SpecError("use_grid must be true, false or omitted")
+    return params
+
+
+def _parse_simulate(payload: Dict[str, Any]) -> Dict[str, Any]:
+    params = _workload_params(payload)
+    seed = payload.get("seed")
+    if seed is not None and (
+        isinstance(seed, bool) or not isinstance(seed, int)
+    ):
+        raise SpecError(f"seed must be an integer, got {seed!r}")
+    params["seed"] = seed
+    return params
+
+
+def _parse_check(payload: Dict[str, Any]) -> Dict[str, Any]:
+    protocol = _require(payload, "protocol")
+    if protocol not in CHECK_PROTOCOLS:
+        raise SpecError(
+            f"unknown check protocol {protocol!r}; "
+            f"expected one of {CHECK_PROTOCOLS}"
+        )
+    symmetry = payload.get("symmetry", "full")
+    if symmetry not in ("full", "none"):
+        raise SpecError(f"symmetry must be 'full' or 'none', got {symmetry!r}")
+    return {
+        "protocol": protocol,
+        "nodes": _int_field(payload, "nodes", 2),
+        "lines": _int_field(payload, "lines", 1),
+        "races": _bool_field(payload, "races", True),
+        "max_depth": _int_field(payload, "max_depth", 12),
+        "max_states": _int_field(payload, "max_states", 20_000),
+        "symmetry": symmetry,
+        "resume": _bool_field(payload, "resume", True),
+    }
+
+
+def _parse_grid(payload: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.core.sensitivity import SUPPORTED_PARAMETERS
+
+    params = _workload_params(payload)
+    params["cycles_ns"] = _cycles_field(payload)
+    axes = payload.get("parameters")
+    if axes is not None:
+        if not isinstance(axes, dict) or not axes:
+            raise SpecError("parameters must be a non-empty object")
+        clean: Dict[str, List[int]] = {}
+        for name, values in axes.items():
+            if name not in SUPPORTED_PARAMETERS:
+                raise SpecError(
+                    f"unknown parameter axis {name!r}; supported: "
+                    f"{', '.join(sorted(SUPPORTED_PARAMETERS))}"
+                )
+            if not isinstance(values, list) or not values:
+                raise SpecError(f"parameter axis {name!r} needs values")
+            for value in values:
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise SpecError(
+                        f"parameter axis {name!r} values must be "
+                        f"integers: {value!r}"
+                    )
+            clean[name] = list(values)
+        axes = clean
+    params["parameters"] = axes
+    return params
+
+
+_PARSERS = {
+    "sweep": _parse_sweep,
+    "simulate": _parse_simulate,
+    "check": _parse_check,
+    "grid": _parse_grid,
+}
+
+
+def parse_spec(payload: Any) -> JobSpec:
+    """Validate and canonicalise one submission body."""
+    if not isinstance(payload, dict):
+        raise SpecError("submission body must be a JSON object")
+    kind = payload.get("kind")
+    if kind not in JOB_KINDS:
+        raise SpecError(
+            f"unknown job kind {kind!r}; expected one of {JOB_KINDS}"
+        )
+    return JobSpec(kind=kind, params=_PARSERS[kind](payload))
+
+
+# ----------------------------------------------------------------------
+# Points and fingerprints
+# ----------------------------------------------------------------------
+def points_for(spec: JobSpec) -> List["SweepPoint"]:
+    """The trace-driven simulations this job needs, as sweep points.
+
+    ``check`` jobs run on the explorer, not the sweep executor, and
+    have no points.
+    """
+    from repro.core.hybrid import extraction_point
+    from repro.core.parallel import SweepPoint
+
+    params = spec.params
+    if spec.kind == "simulate":
+        return [
+            SweepPoint(
+                params["benchmark"],
+                params["processors"],
+                Protocol(params["protocol"]),
+                params["data_refs"],
+                seed=params["seed"],
+            )
+        ]
+    if spec.kind in ("sweep", "grid"):
+        return [
+            extraction_point(
+                params["benchmark"],
+                params["processors"],
+                Protocol(params["protocol"]),
+                data_refs=params["data_refs"],
+            )
+        ]
+    return []
+
+
+def spec_fingerprint(spec: JobSpec, store) -> str:
+    """The coalescing key: submissions sharing it share one execution.
+
+    Simulation-backed kinds hash the :meth:`ResultStore.key_for`
+    fingerprint of every underlying point -- the same content hash
+    that keys the persistent store, so the daemon's in-flight dedup
+    and the store's at-rest dedup agree on what "the same work" means
+    -- plus the model-side parameters (cycle axis, parameter axes).
+    ``use_grid`` is deliberately excluded: the grid and scalar solvers
+    are proven bit-identical, so requests differing only in solver
+    coalesce.  ``check`` jobs hash their canonical spec.
+    """
+    setup: Dict[str, Any] = {"kind": spec.kind}
+    if spec.kind == "check":
+        setup["params"] = spec.params
+    else:
+        setup["points"] = [
+            store.key_for(
+                point.benchmark, point.data_refs, point.resolved_config()
+            )
+            for point in points_for(spec)
+        ]
+        model_params = {
+            key: value
+            for key, value in spec.params.items()
+            if key in ("cycles_ns", "parameters")
+        }
+        setup["model"] = model_params
+    canonical = json.dumps(setup, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Result payloads
+# ----------------------------------------------------------------------
+def operating_point_row(point) -> Dict[str, float]:
+    """One model operating point as a plain-JSON row (full precision)."""
+    return {
+        "processor_cycle_ns": point.processor_cycle_ns,
+        "mips": point.mips,
+        "processor_utilization": point.processor_utilization,
+        "network_utilization": point.network_utilization,
+        "shared_miss_latency_ns": point.shared_miss_latency_ns,
+        "upgrade_latency_ns": point.upgrade_latency_ns,
+        "time_per_instruction_ps": point.time_per_instruction_ps,
+    }
+
+
+def sweep_payload(sweep) -> Dict[str, Any]:
+    """A :class:`repro.core.results.SweepResult` on the wire."""
+    return {
+        "kind": "sweep",
+        "benchmark": sweep.benchmark,
+        "protocol": sweep.protocol.value,
+        "label": sweep.label,
+        "points": [operating_point_row(point) for point in sweep.points],
+    }
+
+
+def simulate_payload(result) -> Dict[str, Any]:
+    """A full :class:`SimulationResult` on the wire (store schema)."""
+    from repro.core.store import result_to_jsonable
+
+    payload = result_to_jsonable(result)
+    payload["kind"] = "simulate"
+    return payload
+
+
+def check_payload(report) -> Dict[str, Any]:
+    """An :class:`ExploreReport` on the wire."""
+    payload = {
+        "kind": "check",
+        "ok": report.ok,
+        "complete": report.complete,
+        "states": report.states,
+        "steps_applied": report.steps_applied,
+        "max_depth_reached": report.max_depth_reached,
+        "truncated_by": list(report.truncated_by),
+        "resumed": report.resumed,
+        "resumed_states": report.resumed_states,
+        "summary": report.summary(),
+    }
+    if not report.ok:
+        payload["counterexample"] = report.counterexample.describe()
+    return payload
+
+
+def grid_payload(solution, metricless: bool = True) -> Dict[str, Any]:
+    """A :class:`repro.models.grid.GridSolution` on the wire.
+
+    The daemon ships the operating points; rendering a heatmap for a
+    particular metric is the client's job.
+    """
+    return {
+        "kind": "grid",
+        "points": solution.size,
+        "converged": solution.n_converged,
+        "failed": solution.n_failed,
+        "operating_points": [
+            operating_point_row(point)
+            for point in solution.operating_points()
+        ],
+    }

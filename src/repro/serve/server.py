@@ -1,0 +1,352 @@
+"""The sweep-as-a-service daemon: a stdlib asyncio HTTP/JSON server.
+
+One :class:`ServeDaemon` binds a socket, parses a deliberately small
+slice of HTTP/1.1 (request line, headers, ``Content-Length`` body,
+``Connection: close`` responses -- no keep-alive, no chunked bodies),
+and exposes the :class:`repro.serve.scheduler.JobScheduler` plus the
+persistent result store:
+
+========================  =============================================
+``GET  /healthz``         liveness probe
+``GET  /stats``           registry counters (coalescing assertions)
+``POST /jobs``            submit a job (``202``; body echoes the job)
+``GET  /jobs``            list all jobs
+``GET  /jobs/<id>``       one job's state and counters
+``GET  /jobs/<id>/result``  the result payload (``409`` until done)
+``GET  /jobs/<id>/events``  NDJSON progress stream, start to terminal
+``POST /jobs/<id>/cancel``  detach one subscriber (also ``DELETE``)
+``GET  /store/info``      store layout + hit/miss/lost-write counters
+``POST /store/cleanup``   remove stale temp files (``min_age_s``)
+``POST /store/purge``     delete every cached result
+``POST /shutdown``        graceful stop: drain executions, close
+========================  =============================================
+
+Streaming responses carry no ``Content-Length`` and are delimited by
+connection close, which every HTTP client understands -- including the
+stdlib-only :mod:`repro.serve.client`.
+
+The daemon is loopback-only by default and wholly unauthenticated: it
+is a lab tool for one user's experiment queue, not an internet
+service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.store import configure_result_store, get_result_store
+from repro.serve.jobs import JobState
+from repro.serve.protocol import SpecError
+from repro.serve.scheduler import JobScheduler
+
+__all__ = ["ServeDaemon"]
+
+_MAX_BODY = 8 * 1024 * 1024
+_MAX_HEADER = 64 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServeDaemon:
+    """The serving daemon; see the module docstring for the routes."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.jobs = max(1, jobs)
+        self.cache_dir = cache_dir
+        self.use_cache = use_cache
+        self.scheduler = JobScheduler(jobs=self.jobs)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop = asyncio.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        #: Set once the socket is bound (thread-helper handshake).
+        self.ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Configure the store, bind the socket, record the port."""
+        self._loop = asyncio.get_running_loop()
+        if self.cache_dir is not None or not self.use_cache:
+            configure_result_store(self.cache_dir, enabled=self.use_cache)
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.ready.set()
+
+    async def serve(self) -> None:
+        """Serve until :meth:`stop` (or ``POST /shutdown``), then drain."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._stop.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            await self.scheduler.shutdown()
+
+    def stop(self) -> None:
+        """Request a graceful stop (safe from any thread)."""
+        if self._loop is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        except RuntimeError:
+            pass  # loop already closed: the daemon has finished
+
+    # -- background-thread helper (tests, notebooks) -------------------
+    def start_in_thread(self) -> "ServeDaemon":
+        """Run the daemon on a daemon thread; returns once bound."""
+
+        def _main() -> None:
+            asyncio.run(self.serve())
+
+        self._thread = threading.Thread(
+            target=_main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self.ready.wait(timeout=30):
+            raise RuntimeError("serve daemon failed to bind within 30s")
+        return self
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Any]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise _HttpError(413, "request head too large") from None
+        except asyncio.IncompleteReadError:
+            raise _HttpError(400, "truncated request") from None
+        if len(head) > _MAX_HEADER:
+            raise _HttpError(413, "request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body: Any = None
+        length = int(headers.get("content-length", "0") or "0")
+        if length:
+            if length > _MAX_BODY:
+                raise _HttpError(413, "request body too large")
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw)
+            except ValueError:
+                raise _HttpError(400, "request body is not valid JSON") from None
+        return method.upper(), target.split("?", 1)[0], body
+
+    @staticmethod
+    def _response_head(
+        status: int, content_type: str, length: Optional[int]
+    ) -> bytes:
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            "Connection: close",
+        ]
+        if length is not None:
+            lines.append(f"Content-Length: {length}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: Any
+    ) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        writer.write(
+            self._response_head(status, "application/json", len(body))
+        )
+        writer.write(body)
+        await writer.drain()
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        stopping = False
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                stopping = await self._route(method, path, body, writer)
+            except _HttpError as exc:
+                await self._send_json(
+                    writer, exc.status, {"error": exc.message}
+                )
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as exc:  # route bug: report, don't die
+                await self._send_json(
+                    writer,
+                    500,
+                    {"error": f"{type(exc).__name__}: {exc}"},
+                )
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if stopping:
+            self._stop.set()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: Any,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Dispatch one request; returns True when shutdown was asked."""
+        if path == "/healthz" and method == "GET":
+            await self._send_json(writer, 200, {"ok": True})
+        elif path == "/stats" and method == "GET":
+            stats = self.scheduler.registry.stats()
+            stats["workers"] = self.jobs
+            await self._send_json(writer, 200, stats)
+        elif path == "/jobs" and method == "POST":
+            await self._submit(body, writer)
+        elif path == "/jobs" and method == "GET":
+            jobs = [
+                job.to_jsonable()
+                for job in self.scheduler.registry.jobs.values()
+            ]
+            await self._send_json(writer, 200, {"jobs": jobs})
+        elif path.startswith("/jobs/"):
+            await self._job_route(method, path, writer)
+        elif path == "/store/info" and method == "GET":
+            store = get_result_store()
+            payload = store.info()
+            payload["counters"] = store.counters()
+            await self._send_json(writer, 200, payload)
+        elif path == "/store/cleanup" and method == "POST":
+            min_age = 0.0
+            if isinstance(body, dict):
+                min_age = float(body.get("min_age_s", 0.0))
+            removed = get_result_store().cleanup_stale_tmp(min_age)
+            await self._send_json(writer, 200, {"removed": removed})
+        elif path == "/store/purge" and method == "POST":
+            purged = get_result_store().purge()
+            await self._send_json(writer, 200, {"purged": purged})
+        elif path == "/shutdown" and method == "POST":
+            await self._send_json(writer, 200, {"ok": True, "stopping": True})
+            return True
+        else:
+            known = path in ("/healthz", "/stats", "/jobs", "/shutdown") or (
+                path.startswith(("/jobs/", "/store/"))
+            )
+            raise _HttpError(
+                405 if known else 404,
+                f"no route for {method} {path}",
+            )
+        return False
+
+    async def _submit(
+        self, body: Any, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            job = self.scheduler.submit(body)
+        except SpecError as exc:
+            raise _HttpError(400, str(exc)) from None
+        await self._send_json(writer, 202, job.to_jsonable())
+
+    async def _job_route(
+        self, method: str, path: str, writer: asyncio.StreamWriter
+    ) -> None:
+        parts = path.strip("/").split("/")
+        # parts = ["jobs", <id>] or ["jobs", <id>, <verb>]
+        if len(parts) == 2:
+            job_id, verb = parts[1], None
+        elif len(parts) == 3:
+            job_id, verb = parts[1], parts[2]
+        else:
+            raise _HttpError(404, f"no route for {path}")
+        registry = self.scheduler.registry
+        job = registry.jobs.get(job_id)
+
+        if verb is None and method == "DELETE":
+            verb, method = "cancel", "POST"
+        if job is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+
+        if verb is None and method == "GET":
+            await self._send_json(writer, 200, job.to_jsonable())
+        elif verb == "cancel" and method == "POST":
+            self.scheduler.cancel_job(job_id)
+            await self._send_json(writer, 200, job.to_jsonable())
+        elif verb == "result" and method == "GET":
+            if job.state is not JobState.DONE:
+                raise _HttpError(
+                    409,
+                    f"job {job_id} is {job.state.value}, not done"
+                    + (
+                        f": {job.execution.error}"
+                        if job.execution.error
+                        else ""
+                    ),
+                )
+            await self._send_json(writer, 200, job.execution.result)
+        elif verb == "events" and method == "GET":
+            await self._stream_events(job, writer)
+        else:
+            raise _HttpError(405, f"no route for {method} {path}")
+
+    async def _stream_events(self, job, writer: asyncio.StreamWriter):
+        writer.write(self._response_head(200, "application/x-ndjson", None))
+        await writer.drain()
+        async for event in self.scheduler.events(job.execution):
+            writer.write((json.dumps(event) + "\n").encode("utf-8"))
+            await writer.drain()

@@ -1,0 +1,182 @@
+"""The point scheduler's progress, cancellation and resume contract.
+
+The serving daemon streams per-point progress to subscribers and
+resumes cancelled work, so :class:`repro.core.parallel.PointScheduler`
+carries a precise contract these tests pin:
+
+* the progress sink fires **exactly once per settled point** -- cache
+  hits, simulated points, and the failing point of an aborted sweep
+  all included -- with ``done`` strictly increasing by one;
+* :meth:`cancel` stops the run at the next point boundary with
+  :class:`SweepCancelled`, keeping completed outcomes;
+* a scheduler pre-filled with those outcomes skips them (no duplicate
+  events) and produces a report bit-identical to an uninterrupted run;
+* *failed* outcomes are never resumed -- they are retried.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import Protocol
+from repro.core.parallel import (
+    PointOutcome,
+    PointScheduler,
+    SweepCancelled,
+    SweepPoint,
+    SweepPointError,
+    execute_points,
+)
+
+REFS = 300
+
+GOOD = SweepPoint("mp3d", 4, Protocol.SNOOPING, REFS)
+BAD = SweepPoint("no-such-benchmark", 4, Protocol.SNOOPING, REFS, seed=41)
+
+
+def _points(n: int):
+    return [
+        SweepPoint("mp3d", 4, Protocol.SNOOPING, REFS, seed=seed)
+        for seed in range(1, n + 1)
+    ]
+
+
+def _assert_exactly_once(events, points):
+    dones = [done for done, _total, _outcome in events]
+    assert dones == list(range(dones[0], dones[0] + len(dones)))
+    assert all(total == len(points) for _d, total, _o in events)
+    seen = [outcome.point for _d, _t, outcome in events]
+    assert len(seen) == len(set(id(point) for point in seen))
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_progress_fires_exactly_once_per_point(temp_store, jobs):
+    points = _points(3)
+    events = []
+    report = execute_points(
+        points, jobs=jobs, progress=lambda d, t, o: events.append((d, t, o))
+    )
+    assert report.points_done == 3
+    assert len(events) == 3
+    _assert_exactly_once(events, points)
+    assert all(not outcome.cache_hit for _d, _t, outcome in events)
+
+
+def test_cache_hits_emit_progress_events_too(temp_store):
+    points = _points(2)
+    execute_points(points, jobs=1)  # warm the store
+    events = []
+    report = execute_points(
+        points, jobs=1, progress=lambda d, t, o: events.append((d, t, o))
+    )
+    assert report.cache_hits == 2
+    assert len(events) == 2
+    _assert_exactly_once(events, points)
+    assert all(outcome.cache_hit for _d, _t, outcome in events)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_failed_point_emits_a_progress_event(temp_store, jobs):
+    events = []
+    with pytest.raises(SweepPointError):
+        execute_points(
+            [GOOD, BAD],
+            jobs=jobs,
+            progress=lambda d, t, o: events.append((d, t, o)),
+        )
+    _assert_exactly_once(events, [GOOD, BAD])
+    failures = [outcome for _d, _t, outcome in events if outcome.failed]
+    assert len(failures) == 1
+    failed = failures[0]
+    assert failed.point == BAD
+    assert failed.result is None
+    assert failed.error is not None and "no-such-benchmark" in failed.error
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_cancel_stops_at_the_next_point_boundary(temp_store, jobs):
+    points = _points(8)
+    holder = {}
+
+    def cancel_after_two(done, _total, _outcome):
+        if done >= 2:
+            holder["scheduler"].cancel()
+
+    scheduler = PointScheduler(points, jobs=jobs, progress=cancel_after_two)
+    holder["scheduler"] = scheduler
+    with pytest.raises(SweepCancelled):
+        scheduler.run()
+    assert scheduler.cancelled
+    assert 2 <= len(scheduler.outcomes) < len(points)
+
+
+def test_resume_skips_completed_points_and_matches_clean_run(temp_store):
+    points = _points(4)
+    holder = {}
+
+    def cancel_after_one(done, _total, _outcome):
+        if done >= 1:
+            holder["scheduler"].cancel()
+
+    first = PointScheduler(points, jobs=1, progress=cancel_after_one)
+    holder["scheduler"] = first
+    with pytest.raises(SweepCancelled):
+        first.run()
+    partial = first.outcomes
+    assert 1 <= len(partial) < len(points)
+
+    events = []
+    second = PointScheduler(
+        points,
+        jobs=1,
+        completed=partial,
+        progress=lambda d, t, o: events.append((d, t, o)),
+    )
+    report = second.run()
+
+    # Only the points the first run never settled emit events, and the
+    # running 'done' continues past the pre-filled count.
+    assert len(events) == len(points) - len(partial)
+    assert [done for done, _t, _o in events] == list(
+        range(len(partial) + 1, len(points) + 1)
+    )
+    resumed_indices = {
+        index for index, point in enumerate(points)
+        if any(outcome.point is point for _d, _t, outcome in events)
+    }
+    assert resumed_indices.isdisjoint(partial)
+
+    # The stitched-together report is bit-identical to a clean run.
+    clean = execute_points(points, jobs=1)
+    assert report.results == clean.results
+
+
+def test_failed_outcomes_are_retried_not_resumed(temp_store):
+    poisoned = PointOutcome(
+        GOOD, None, False, 0.0, worker=0, error="RuntimeError: injected"
+    )
+    scheduler = PointScheduler([GOOD], jobs=1, completed={0: poisoned})
+    assert scheduler.done == 0  # the failure does not count as settled
+    report = scheduler.run()
+    assert report.points_done == 1
+    assert report.outcomes[0].result is not None
+    assert not report.outcomes[0].failed
+
+
+def test_completed_index_out_of_range_is_rejected(temp_store):
+    outcome = PointOutcome(GOOD, None, True, 0.0, worker=0)
+    with pytest.raises(IndexError):
+        PointScheduler([GOOD], completed={3: outcome})
+
+
+def test_shim_equivalence_with_direct_scheduler(temp_store):
+    """``execute_points`` is the scheduler: identical reports."""
+    points = _points(2)
+    via_shim = execute_points(points, jobs=1)
+    temp_store.purge()
+    from repro.core.experiment import clear_simulation_cache
+
+    clear_simulation_cache(disk=False)
+    via_scheduler = PointScheduler(points, jobs=1).run()
+    assert via_shim.results == via_scheduler.results
+    assert via_shim.points_done == via_scheduler.points_done

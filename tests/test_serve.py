@@ -1,0 +1,320 @@
+"""End-to-end tests for the sweep-as-a-service daemon.
+
+Each test boots a real :class:`repro.serve.ServeDaemon` on an
+ephemeral loopback port (in a background thread) and talks to it with
+the stdlib :class:`repro.serve.ServeClient` -- the same path the CLI
+and the CI smoke job use.  The contracts pinned here:
+
+* a daemon sweep is **bit-identical** to the synchronous
+  :func:`repro.core.hybrid.hybrid_sweep` (JSON floats round-trip
+  exactly, so equality is exact);
+* two identical concurrent submissions coalesce onto one execution --
+  one simulation, two subscribers, both get the result;
+* cancelling one subscriber of a shared execution leaves it running;
+  cancelling the *last* subscriber cancels the execution itself;
+* the NDJSON event stream is replayable, ordered and terminated;
+* the store endpoints drive ``info``/``cleanup_stale_tmp``/``purge``;
+* shutdown drains in-flight executions and the daemon thread exits.
+
+Controllable executions use a gated runner substituted into the
+scheduler's per-instance ``_runners`` table -- no sleeps, no races.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.config import Protocol
+from repro.core.hybrid import hybrid_sweep
+from repro.core.parallel import SweepCancelled
+from repro.serve import ServeClient, ServeDaemon, ServeError
+from repro.serve.protocol import operating_point_row
+
+REFS = 300
+SWEEP_SPEC = {
+    "kind": "sweep",
+    "benchmark": "mp3d",
+    "processors": 4,
+    "data_refs": REFS,
+}
+
+
+@pytest.fixture
+def daemon(temp_store):
+    served = ServeDaemon(port=0, jobs=1).start_in_thread()
+    yield served
+    served.stop()
+    served.join(timeout=30)
+
+
+@pytest.fixture
+def client(daemon):
+    return ServeClient(daemon.url, timeout=120.0)
+
+
+def _gated_runner(payload=None, run_real=None):
+    """A runner that blocks until released, honouring cancellation.
+
+    Returns ``(runner, entered, gate)``: ``entered`` is set once the
+    runner is live; setting ``gate`` lets it finish (either with the
+    canned ``payload`` or by delegating to the real runner).
+    """
+    entered = threading.Event()
+    gate = threading.Event()
+
+    def runner(scheduler, execution):
+        entered.set()
+        while not gate.wait(timeout=0.02):
+            if execution.cancel_requested.is_set():
+                raise SweepCancelled("cancelled while gated")
+        if execution.cancel_requested.is_set():
+            raise SweepCancelled("cancelled while gated")
+        if run_real is not None:
+            return run_real(scheduler, execution)
+        return payload
+
+    return runner, entered, gate
+
+
+# ----------------------------------------------------------------------
+# E2E: daemon result == synchronous result, bit for bit
+# ----------------------------------------------------------------------
+def test_daemon_sweep_is_bit_identical_to_sync(client):
+    job = client.submit(SWEEP_SPEC)
+    assert job["state"] in ("pending", "running")
+    assert job["coalesced"] is False
+    final = client.wait(job["job"])
+    assert final["state"] == "done"
+    assert final["simulated"] == 1 and final["cache_hits"] == 0
+
+    payload = client.result(job["job"])
+    expected = hybrid_sweep("mp3d", 4, Protocol.SNOOPING, data_refs=REFS)
+    assert payload["kind"] == "sweep"
+    assert payload["label"] == expected.label
+    assert payload["protocol"] == expected.protocol.value
+    # Full-precision float fields survive the JSON round-trip exactly,
+    # so this is bit-for-bit equality with the sync methodology.
+    assert payload["points"] == [
+        operating_point_row(point) for point in expected.points
+    ]
+
+
+def test_resubmission_after_completion_hits_the_store(client):
+    first = client.wait(client.submit(SWEEP_SPEC)["job"])
+    assert first["simulated"] == 1
+    second = client.wait(client.submit(SWEEP_SPEC)["job"])
+    assert second["state"] == "done"
+    assert second["simulated"] == 0 and second["cache_hits"] == 1
+    stats = client.stats()
+    assert stats["executions_started"] == 2  # store-backed, not coalesced
+    assert stats["coalesced"] == 0
+
+
+# ----------------------------------------------------------------------
+# Request coalescing
+# ----------------------------------------------------------------------
+def test_identical_concurrent_submissions_share_one_execution(
+    daemon, client
+):
+    real = daemon.scheduler._runners["sweep"]
+    runner, entered, gate = _gated_runner(run_real=real)
+    daemon.scheduler._runners["sweep"] = runner
+
+    first = client.submit(SWEEP_SPEC)
+    assert entered.wait(timeout=30)
+    second = client.submit(SWEEP_SPEC)
+    assert second["coalesced"] is True
+    assert second["execution"] == first["execution"]
+    assert second["job"] != first["job"]
+
+    stats = client.stats()
+    assert stats["submitted"] == 2
+    assert stats["coalesced"] == 1
+    assert stats["executions_started"] == 1
+
+    gate.set()
+    final_first = client.wait(first["job"])
+    final_second = client.wait(second["job"])
+    assert final_first["state"] == final_second["state"] == "done"
+    # One simulation served both submissions: zero additional work.
+    assert final_first["simulated"] == final_second["simulated"] == 1
+    assert client.result(first["job"]) == client.result(second["job"])
+    assert client.stats()["executions_started"] == 1
+
+
+def test_different_specs_do_not_coalesce(daemon, client):
+    runner, entered, gate = _gated_runner(payload={"kind": "sweep"})
+    daemon.scheduler._runners["sweep"] = runner
+    first = client.submit(SWEEP_SPEC)
+    assert entered.wait(timeout=30)
+    other = client.submit({**SWEEP_SPEC, "processors": 8})
+    assert other["coalesced"] is False
+    assert other["execution"] != first["execution"]
+    assert client.stats()["executions_started"] == 2
+    gate.set()
+    client.wait(first["job"])
+    client.wait(other["job"])
+
+
+# ----------------------------------------------------------------------
+# Cancellation semantics
+# ----------------------------------------------------------------------
+def test_cancelling_one_subscriber_keeps_the_shared_execution(
+    daemon, client
+):
+    runner, entered, gate = _gated_runner(payload={"kind": "sweep"})
+    daemon.scheduler._runners["sweep"] = runner
+
+    first = client.submit(SWEEP_SPEC)
+    assert entered.wait(timeout=30)
+    second = client.submit(SWEEP_SPEC)
+    assert second["coalesced"] is True
+
+    cancelled = client.cancel(first["job"])
+    assert cancelled["state"] == "cancelled"
+    stats = client.stats()
+    assert stats["cancelled_jobs"] == 1
+    assert stats["cancelled_executions"] == 0  # still one subscriber
+
+    gate.set()
+    final_second = client.wait(second["job"])
+    assert final_second["state"] == "done"
+    assert client.result(second["job"]) == {"kind": "sweep"}
+    # The detached handle stays cancelled and has no result.
+    assert client.job(first["job"])["state"] == "cancelled"
+    with pytest.raises(ServeError) as excinfo:
+        client.result(first["job"])
+    assert excinfo.value.status == 409
+
+
+def test_cancelling_the_last_subscriber_cancels_the_execution(
+    daemon, client
+):
+    runner, entered, _gate = _gated_runner(payload={"kind": "sweep"})
+    daemon.scheduler._runners["sweep"] = runner
+
+    job = client.submit(SWEEP_SPEC)
+    assert entered.wait(timeout=30)
+    client.cancel(job["job"])
+    final = client.wait(job["job"])
+    assert final["state"] == "cancelled"
+    stats = client.stats()
+    assert stats["cancelled_jobs"] == 1
+    assert stats["cancelled_executions"] == 1
+    events = list(client.events(job["job"]))
+    assert events[-1]["event"] == "cancelled"
+
+
+def test_cancel_is_idempotent_and_404s_on_unknown_jobs(daemon, client):
+    runner, entered, gate = _gated_runner(payload={"kind": "sweep"})
+    daemon.scheduler._runners["sweep"] = runner
+    job = client.submit(SWEEP_SPEC)
+    assert entered.wait(timeout=30)
+    client.cancel(job["job"])
+    again = client.cancel(job["job"])  # second cancel: no double count
+    assert again["state"] == "cancelled"
+    assert client.stats()["cancelled_jobs"] == 1
+    with pytest.raises(ServeError) as excinfo:
+        client.cancel("j999")
+    assert excinfo.value.status == 404
+    client.wait(job["job"])
+
+
+# ----------------------------------------------------------------------
+# Event stream
+# ----------------------------------------------------------------------
+def test_event_stream_is_ordered_replayable_and_terminated(client):
+    job = client.submit(SWEEP_SPEC)
+    events = list(client.events(job["job"]))
+    assert [event["seq"] for event in events] == list(range(len(events)))
+    assert events[0] == {"event": "state", "state": "running", "seq": 0}
+    kinds = [event["event"] for event in events]
+    assert kinds.count("done") == 1 and kinds[-1] == "done"
+    points = [event for event in events if event["event"] == "point"]
+    assert len(points) == 1
+    assert points[0]["done"] == points[0]["total"] == 1
+    assert points[0]["benchmark"] == "mp3d"
+    assert points[0]["cache_hit"] is False
+    telemetry = [e for e in events if e["event"] == "telemetry"]
+    assert len(telemetry) == 1
+    assert "miss_latency" in telemetry[0]["histograms"]
+    done = events[-1]
+    assert done["simulated"] == 1 and done["cache_hits"] == 0
+    # A late subscriber replays the identical history.
+    assert list(client.events(job["job"])) == events
+
+
+# ----------------------------------------------------------------------
+# Validation and error paths
+# ----------------------------------------------------------------------
+def test_submission_validation_and_conflicts(daemon, client):
+    with pytest.raises(ServeError) as excinfo:
+        client.submit({"kind": "nope"})
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeError) as excinfo:
+        client.submit({"kind": "sweep"})  # benchmark missing
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeError) as excinfo:
+        client.job("j42")
+    assert excinfo.value.status == 404
+
+    runner, entered, gate = _gated_runner(payload={"kind": "sweep"})
+    daemon.scheduler._runners["sweep"] = runner
+    job = client.submit(SWEEP_SPEC)
+    assert entered.wait(timeout=30)
+    with pytest.raises(ServeError) as excinfo:
+        client.result(job["job"])  # still running
+    assert excinfo.value.status == 409
+    gate.set()
+    client.wait(job["job"])
+
+
+def test_failed_execution_reports_the_error(daemon, client):
+    job = client.submit({**SWEEP_SPEC, "benchmark": "no-such-benchmark"})
+    final = client.wait(job["job"])
+    assert final["state"] == "failed"
+    assert "no-such-benchmark" in final["error"]
+    with pytest.raises(ServeError) as excinfo:
+        client.result(job["job"])
+    assert excinfo.value.status == 409
+    assert client.stats()["failed"] == 1
+
+
+# ----------------------------------------------------------------------
+# Store endpoints
+# ----------------------------------------------------------------------
+def test_store_endpoints_drive_the_live_store(temp_store, client):
+    client.wait(client.submit(SWEEP_SPEC)["job"])
+    info = client.store_info()
+    assert info["directory"] == str(temp_store.directory)
+    assert info["entries"] == 1
+    assert info["counters"]["lost_writes"] == 0
+
+    temp_store.results_dir.joinpath(".tmp-stranded.json").write_text("{}")
+    assert client.store_info()["tmp_files"] == 1
+    assert client.store_cleanup(min_age_s=0.0)["removed"] == 1
+    assert client.store_info()["tmp_files"] == 0
+
+    assert client.store_purge()["purged"] == 1
+    assert client.store_info()["entries"] == 0
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown
+# ----------------------------------------------------------------------
+def test_shutdown_drains_inflight_executions(daemon, client):
+    runner, entered, _gate = _gated_runner(payload={"kind": "sweep"})
+    daemon.scheduler._runners["sweep"] = runner
+    job = client.submit(SWEEP_SPEC)
+    assert entered.wait(timeout=30)
+
+    assert client.shutdown() == {"ok": True, "stopping": True}
+    daemon.join(timeout=30)
+    assert not daemon._thread.is_alive()
+    # The in-flight execution was cancelled during the drain.
+    execution = daemon.scheduler.registry.jobs[job["job"]].execution
+    assert execution.state.value == "cancelled"
+    with pytest.raises((ConnectionError, OSError)):
+        client.health()

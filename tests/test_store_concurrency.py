@@ -1,0 +1,114 @@
+"""Cross-process write races in the persistent result store.
+
+The serving daemon turns the store into a shared cache tier: many
+worker processes (and many daemon jobs) publish results concurrently,
+including repeatedly for the *same* key when coalescing misses a
+window.  These tests pin the hardened contract of
+:meth:`repro.core.store.ResultStore.put` / ``put_blob``:
+
+* racing writers of one key never crash -- every rename is atomic and
+  last-writer-wins;
+* a writer racing ``purge`` (directory churn) recreates the directory
+  or drops the write, counted in ``lost_writes``, never raising;
+* the surviving entry is always complete, valid JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.config import Protocol, SystemConfig
+from repro.core.parallel import map_tasks
+from repro.core.store import (
+    ResultStore,
+    result_from_jsonable,
+    result_to_jsonable,
+)
+
+REFS = 300
+ROUNDS = 6
+
+
+def _payload(temp_store):
+    """One small simulated result, as its jsonable payload (picklable)."""
+    from repro.core.experiment import run_simulation
+
+    config = SystemConfig(num_processors=4, protocol=Protocol.SNOOPING)
+    result = run_simulation("mp3d", config=config, data_refs=REFS)
+    return result_to_jsonable(result)
+
+
+def _race_put(task):
+    """Worker body: hammer one key with puts (and some churn)."""
+    store_dir, payload, worker = task
+    store = ResultStore(store_dir, enabled=True)
+    result = result_from_jsonable(payload)
+    config = result.config
+    for round_index in range(ROUNDS):
+        store.put("mp3d", REFS, config, result)
+        store.put_blob("stress", "shared-key", {"worker": worker})
+        if worker == 0 and round_index == ROUNDS // 2:
+            # One writer churns the directory mid-race: concurrent
+            # renames into a just-purged directory must not crash.
+            store.purge()
+    return store.counters()
+
+
+def test_racing_writers_of_one_key_never_crash(tmp_path, temp_store):
+    payload = _payload(temp_store)
+    tasks = [(str(tmp_path), payload, worker) for worker in range(4)]
+    counter_sets = map_tasks(_race_put, tasks, jobs=4)
+
+    store = ResultStore(tmp_path, enabled=True)
+    # The key may have been purged after the last put, but whatever is
+    # on disk must be complete and valid.
+    result = store.get("mp3d", REFS, result_from_jsonable(payload).config)
+    if result is not None:
+        assert result == result_from_jsonable(payload)
+    blob = store.get_blob("stress", "shared-key")
+    assert blob is not None and blob["worker"] in range(4)
+    # Every writer either published or recorded the loss -- no write
+    # simply vanished without accounting.
+    for counters in counter_sets:
+        assert counters["stores"] + counters["lost_writes"] >= 1
+        assert counters["blob_stores"] >= 1
+
+
+def test_put_survives_concurrent_directory_removal(tmp_path, temp_store):
+    """A purged/removed results directory is recreated, not crashed on."""
+    import shutil
+
+    payload = _payload(temp_store)
+    result = result_from_jsonable(payload)
+    store = ResultStore(tmp_path / "victim", enabled=True)
+    store.put("mp3d", REFS, result.config, result)
+    shutil.rmtree(store.results_dir)
+    store.put("mp3d", REFS, result.config, result)
+    assert store.entry_count() == 1
+    assert store.get("mp3d", REFS, result.config) == result
+
+
+def test_lost_write_is_counted_not_raised(tmp_path):
+    """When the rename target is unreachable the write is dropped."""
+    store = ResultStore(tmp_path / "gone", enabled=True)
+    # Make results_dir uncreatable by occupying its parent with a file.
+    store.directory.parent.mkdir(parents=True, exist_ok=True)
+    store.directory.touch()
+    store.put_blob("stress", "key", {"x": 1})
+    assert store.lost_writes == 1
+    assert store.counters()["lost_writes"] == 1
+
+
+def test_store_info_shape(tmp_path, temp_store):
+    payload = _payload(temp_store)
+    result = result_from_jsonable(payload)
+    store = ResultStore(tmp_path, enabled=True)
+    store.put("mp3d", REFS, result.config, result)
+    store.put_blob("explore", "abc", {"ok": True})
+    info = store.info()
+    assert info["directory"] == str(tmp_path)
+    assert info["enabled"] is True
+    assert info["entries"] == 1
+    assert info["tmp_files"] == 0
+    assert info["blobs"] == {"explore": 1}
+    json.dumps(info)  # must be plain-JSON serialisable
