@@ -27,6 +27,7 @@ from repro.check.invariants import (
     check_engine,
 )
 from repro.check.monitor import InvariantMonitor
+from repro.check.specmode import SpecCheckedHarness, SpecHarness
 from repro.check.state import EngineHarness, Ref, StepSpec
 from repro.check.symmetry import CanonicalContext
 
@@ -40,6 +41,8 @@ __all__ = [
     "InvariantMonitor",
     "InvariantViolation",
     "Ref",
+    "SpecCheckedHarness",
+    "SpecHarness",
     "StepSpec",
     "check_block",
     "check_engine",

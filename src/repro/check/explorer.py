@@ -61,9 +61,11 @@ from repro.check.state import (
     Ref,
     StepSpec,
 )
+from repro.check.specmode import SpecCheckedHarness, SpecHarness
 from repro.check.symmetry import SYMMETRY_MODES, CanonicalContext
 
 __all__ = [
+    "EXPANSION_MODES",
     "Counterexample",
     "ExploreReport",
     "alphabet_fingerprint",
@@ -71,6 +73,21 @@ __all__ = [
     "explore_fingerprint",
     "step_alphabet",
 ]
+
+#: Expansion modes: which harness expands frontier states.
+#:
+#: * ``"engine"``    -- the live engine (:class:`EngineHarness`).
+#: * ``"spec"``      -- the engine cross-checked step-by-step against
+#:   the guarded-action spec (:class:`SpecCheckedHarness`); clean runs
+#:   are bit-identical to ``"engine"``, and any engine/spec mismatch
+#:   becomes a ``spec-divergence`` counterexample.
+#: * ``"spec-only"`` -- the spec alone (:class:`SpecHarness`), no
+#:   engine; exact for ``races=False`` alphabets only.
+EXPANSION_MODES: Dict[str, type] = {
+    "engine": EngineHarness,
+    "spec": SpecCheckedHarness,
+    "spec-only": SpecHarness,
+}
 
 #: Golden counterexample schema version (tests pin the layout).
 COUNTEREXAMPLE_SCHEMA = 1
@@ -186,6 +203,7 @@ class ExploreReport:
     jobs: int = 1
     resumed: bool = False
     resumed_states: int = 0
+    expansion: str = "engine"
     visited_fingerprints: List[str] = field(default_factory=list)
 
     @property
@@ -431,6 +449,7 @@ def explore(
     jobs: int = 1,
     store=None,
     resume: bool = True,
+    expansion: str = "engine",
     harness_factory=EngineHarness,
 ) -> ExploreReport:
     """BFS the quiescent state space; stop at the first violation.
@@ -445,9 +464,17 @@ def explore(
     ``resume=True``, continues from (or immediately returns) a
     previous run of the same setup.
 
+    ``expansion`` selects what expands frontier states (see
+    :data:`EXPANSION_MODES`): the engine alone, the engine
+    cross-checked against the guarded-action spec (``"spec"``,
+    bit-identical to ``"engine"`` when they agree -- any mismatch is a
+    ``spec-divergence`` counterexample), or the spec alone
+    (``"spec-only"``, which requires ``races=False``).
+
     ``harness_factory`` lets tests substitute a harness whose engine
-    carries an injected bug (mutation testing); for ``jobs > 1`` it
-    must be picklable (a module-level class).
+    (or spec) carries an injected bug (mutation testing); for
+    ``jobs > 1`` it must be picklable (a module-level class).  It is
+    mutually exclusive with a non-default ``expansion``.
 
     The search is exhaustive (``complete=True``) when it drains the
     frontier without hitting ``max_depth`` or ``max_states``; both
@@ -465,6 +492,23 @@ def explore(
             f"unknown symmetry mode {symmetry!r}; "
             f"expected one of {SYMMETRY_MODES}"
         )
+    if expansion not in EXPANSION_MODES:
+        raise ValueError(
+            f"unknown expansion mode {expansion!r}; "
+            f"expected one of {sorted(EXPANSION_MODES)}"
+        )
+    if expansion != "engine":
+        if harness_factory is not EngineHarness:
+            raise ValueError(
+                "expansion and harness_factory are mutually exclusive"
+            )
+        if expansion == "spec-only" and races:
+            raise ValueError(
+                "spec-only expansion is exact for races=False only "
+                "(race arbitration belongs to the engine); use "
+                "expansion='spec' to check race steps"
+            )
+        harness_factory = EXPANSION_MODES[expansion]
     alphabet = step_alphabet(nodes, lines, races=races)
     context = CanonicalContext(protocol, nodes, lines, symmetry)
     report = ExploreReport(
@@ -476,6 +520,7 @@ def explore(
         symmetry=symmetry,
         group_size=context.group_size,
         jobs=max(1, jobs),
+        expansion=expansion,
     )
 
     checkpoint_key = None

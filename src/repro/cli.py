@@ -11,6 +11,7 @@ Commands mirror the library's layers:
 * ``snooprate`` -- the closed-form Table 3.
 * ``benchmarks``-- list available workload configurations.
 * ``check``     -- coherence model checker (``explore`` / ``fuzz``).
+* ``spec``      -- guarded-action protocol specs: print, diff, verify.
 * ``serve``     -- the sweep-as-a-service daemon (``repro.serve``).
 * ``submit``    -- send a job to a running daemon and follow it.
 * ``jobs``      -- list a daemon's jobs and coalescing counters.
@@ -390,6 +391,16 @@ def build_parser() -> argparse.ArgumentParser:
         "raw state space (default full)",
     )
     explore.add_argument(
+        "--expansion",
+        choices=("engine", "spec", "spec-only"),
+        default="engine",
+        help="what expands frontier states: the live engine, the "
+        "engine cross-checked step-by-step against the guarded-action "
+        "spec ('spec': bit-identical to 'engine' when they agree; any "
+        "mismatch is a spec-divergence counterexample), or the spec "
+        "alone ('spec-only', requires --no-races) (default engine)",
+    )
+    explore.add_argument(
         "--resume",
         action="store_true",
         help="checkpoint visited states and the frontier in the "
@@ -445,6 +456,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="independent walks; walk i uses the seed derived from "
         "(--seed, i), so findings replay regardless of --jobs "
         "(default 1: a single walk with --seed itself)",
+    )
+
+    spec = commands.add_parser(
+        "spec",
+        help="guarded-action protocol specs: print, diff, verify",
+        description=(
+            "Work with the declarative guarded-action transition specs "
+            "(repro.spec) that the engines derive their commit tables "
+            "from.  By default prints the spec table(s); --diff shows "
+            "rule-level differences between two protocols; --verify "
+            "validates the spec, re-derives the flat engines' commit "
+            "tables, and runs a spec-checked exhaustive exploration "
+            "that fails on any engine/spec divergence.  See "
+            "docs/SPECS.md."
+        ),
+    )
+    spec.add_argument(
+        "--protocol",
+        choices=(
+            "snooping",
+            "directory",
+            "linkedlist",
+            "bus",
+            "hierarchical",
+            "all",
+        ),
+        default="all",
+        help="which spec to print or verify (default all)",
+    )
+    spec.add_argument(
+        "--diff",
+        default=None,
+        metavar="OTHER",
+        choices=(
+            "snooping",
+            "directory",
+            "linkedlist",
+            "bus",
+            "hierarchical",
+        ),
+        help="print rule-level differences against OTHER's spec "
+        "instead of the full table (needs a single --protocol)",
+    )
+    spec.add_argument(
+        "--verify",
+        action="store_true",
+        help="validate the spec(s), check the flat engines' derived "
+        "commit tables, and run a spec-checked exhaustive exploration "
+        "(exit 1 on any engine/spec divergence)",
+    )
+    spec.add_argument(
+        "--nodes",
+        type=int,
+        default=2,
+        help="system size for the --verify exploration (default 2; "
+        "hierarchical needs an even count)",
+    )
+    spec.add_argument(
+        "--lines",
+        type=int,
+        default=1,
+        help="shared lines for the --verify exploration (default 1)",
+    )
+    spec.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the --verify exploration "
+        "(default 1: serial; results are bit-identical either way)",
+    )
+    spec.add_argument(
+        "--no-races",
+        action="store_true",
+        help="single references only in the --verify exploration",
     )
 
     store = commands.add_parser(
@@ -1079,6 +1165,7 @@ def _command_check(args: argparse.Namespace) -> int:
             symmetry=args.symmetry,
             jobs=args.jobs,
             store=store,
+            expansion=args.expansion,
         )
         print(report.summary())
         if report.ok:
@@ -1153,6 +1240,92 @@ def _command_check(args: argparse.Namespace) -> int:
     )
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _command_spec(args: argparse.Namespace) -> int:
+    # Imported lazily: the module-level namespace already binds
+    # render_table (the analysis-table renderer), and the spec layer
+    # is not needed by any other command.
+    import repro.spec as spec_mod
+
+    protocols = (
+        list(spec_mod.SPECS)
+        if args.protocol == "all"
+        else [args.protocol]
+    )
+
+    if args.diff is not None:
+        if args.protocol == "all":
+            print(
+                "--diff needs a single --protocol to diff against",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            spec_mod.diff_tables(
+                spec_mod.spec_for(args.protocol),
+                spec_mod.spec_for(args.diff),
+            )
+        )
+        return 0
+
+    if not args.verify:
+        for index, protocol in enumerate(protocols):
+            if index:
+                print()
+            print(spec_mod.render_table(spec_mod.spec_for(protocol)))
+        return 0
+
+    from repro import check
+
+    failures = 0
+    for protocol in protocols:
+        protocol_spec = spec_mod.spec_for(protocol)
+        try:
+            spec_mod.validate_spec(protocol_spec)
+        except spec_mod.SpecValidationError as error:
+            print(f"{protocol}: spec INVALID: {error}")
+            failures += 1
+            continue
+        # The flat engines derive their commit tables from the spec at
+        # import; re-derive here and make the agreement explicit.
+        derived = spec_mod.commit_table(protocol)
+        flat_tables = {
+            "snooping": "repro.ring.flatsnooping",
+            "directory": "repro.ring.flatdirectory",
+        }
+        if protocol in flat_tables:
+            import importlib
+
+            module = importlib.import_module(flat_tables[protocol])
+            if tuple(module.COMMIT_TRANSITIONS) != derived:
+                print(
+                    f"{protocol}: flat COMMIT_TRANSITIONS diverges "
+                    "from the spec"
+                )
+                failures += 1
+                continue
+        report = check.explore(
+            protocol,
+            nodes=args.nodes,
+            lines=args.lines,
+            races=not args.no_races,
+            jobs=args.jobs,
+            expansion="spec",
+        )
+        if report.ok:
+            print(
+                f"{protocol}: spec valid, {len(protocol_spec.rules)} "
+                f"rules, {len(derived)} commits; engine/spec agree on "
+                f"{report.states} states "
+                f"({args.nodes}p/{args.lines}l"
+                f"{', no races' if args.no_races else ''})"
+            )
+        else:
+            print(f"{protocol}: engine/spec DIVERGENCE")
+            print(report.counterexample.describe(), file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
 
 
 def _command_store(args: argparse.Namespace) -> int:
@@ -1409,6 +1582,7 @@ _HANDLERS = {
     "benchmarks": _command_benchmarks,
     "bench": _command_bench,
     "check": _command_check,
+    "spec": _command_spec,
     "store": _command_store,
     "serve": _command_serve,
     "submit": _command_submit,

@@ -215,7 +215,10 @@ class PointOutcome:
     ``error`` ``None``) or not (``error`` set, ``result`` ``None``) --
     failed points still produce an outcome so progress sinks observe
     every settled point, but they are not recorded as completed (a
-    resumed scheduler retries them).
+    resumed scheduler retries them).  Failed points carry the wall
+    time actually spent before the failure and the worker that ran
+    them (falling back to time-since-submission and worker 0 when the
+    worker died without reporting).
     """
 
     point: SweepPoint
@@ -306,23 +309,56 @@ def _worker_init(
     store._generation = generation
 
 
+class _PointFailure(Exception):
+    """Worker-side wrapper: a point failed, with its execution record.
+
+    A bare exception crossing the process boundary loses where and for
+    how long the point actually ran, so failed outcomes used to settle
+    with ``wall_s=0.0`` / ``worker=0`` -- fabricated numbers that skew
+    any progress sink averaging over them.  The worker wraps the
+    original exception together with its pid and the wall time it
+    spent before failing; the parent unwraps all three and reports the
+    original exception (``cause``) onward.  ``__reduce__`` keeps the
+    wrapper picklable across the pool boundary.
+    """
+
+    def __init__(self, pid: int, wall_s: float, cause: BaseException):
+        super().__init__(f"{type(cause).__name__}: {cause}")
+        self.pid = pid
+        self.wall_s = wall_s
+        self.cause = cause
+
+    def __reduce__(self):
+        return (type(self), (self.pid, self.wall_s, self.cause))
+
+
 def _evaluate_point(
     indexed: Tuple[int, SweepPoint]
 ) -> Tuple[int, SimulationResult, bool, float, int]:
-    """Run (or look up) one point; returns result + execution record."""
+    """Run (or look up) one point; returns result + execution record.
+
+    Failures raise :class:`_PointFailure` so the execution record
+    (worker pid, wall time spent) survives alongside the original
+    exception.
+    """
     index, point = indexed
-    config = point.resolved_config()
-    before = cache_counters()
     start = time.perf_counter()
-    result = run_simulation_cached(
-        point.benchmark,
-        point.num_processors,
-        point.protocol,
-        data_refs=point.data_refs,
-        config=config,
-    )
-    wall = time.perf_counter() - start
-    after = cache_counters()
+    try:
+        config = point.resolved_config()
+        before = cache_counters()
+        result = run_simulation_cached(
+            point.benchmark,
+            point.num_processors,
+            point.protocol,
+            data_refs=point.data_refs,
+            config=config,
+        )
+        wall = time.perf_counter() - start
+        after = cache_counters()
+    except Exception as exc:
+        raise _PointFailure(
+            os.getpid(), time.perf_counter() - start, exc
+        ) from exc
     hit = after["misses"] == before["misses"]
     return index, result, hit, wall, os.getpid()
 
@@ -514,22 +550,22 @@ class PointScheduler:
     ) -> None:
         for index, point in pending_points:
             self._check_cancel()
-            point_started = time.perf_counter()
             try:
                 _, result, hit, wall, pid = _evaluate_point((index, point))
-            except Exception as exc:
+            except _PointFailure as failure:
+                cause = failure.cause
                 self._settle(
                     index,
                     PointOutcome(
                         point,
                         None,
                         False,
-                        time.perf_counter() - point_started,
+                        failure.wall_s,
                         worker=0,
-                        error=f"{type(exc).__name__}: {exc}",
+                        error=f"{type(cause).__name__}: {cause}",
                     ),
                 )
-                raise SweepPointError(index, point, exc) from exc
+                raise SweepPointError(index, point, cause) from cause
             self._settle(index, PointOutcome(point, result, hit, wall, 0))
 
     def _run_pooled(
@@ -552,12 +588,15 @@ class PointScheduler:
         else:
             pool = self._pool
         # future -> input index, so a failure can be attributed to the
-        # point (and seed) that caused it.
-        pending = {
-            pool.submit(_evaluate_point, (index, point)): index
-            for index, point in pending_points
-        }
+        # point (and seed) that caused it.  Submission times back the
+        # wall clock of failures that never reached the worker's own
+        # accounting (e.g. a worker killed mid-run).
         workers: Dict[int, int] = {}
+        submitted: Dict[int, float] = {}
+        pending = {}
+        for index, point in pending_points:
+            submitted[index] = time.perf_counter()
+            pending[pool.submit(_evaluate_point, (index, point))] = index
         try:
             while pending:
                 self._check_cancel()
@@ -572,20 +611,31 @@ class PointScheduler:
                         index, result, hit, wall, pid = future.result()
                     except Exception as exc:
                         point = self.points[failed_index]
+                        cause: BaseException = exc
+                        wall = (
+                            time.perf_counter() - submitted[failed_index]
+                        )
+                        worker = 0
+                        if isinstance(exc, _PointFailure):
+                            cause = exc.cause if exc.cause else exc
+                            wall = exc.wall_s
+                            worker = workers.setdefault(
+                                exc.pid, len(workers)
+                            )
                         self._settle(
                             failed_index,
                             PointOutcome(
                                 point,
                                 None,
                                 False,
-                                0.0,
-                                worker=0,
-                                error=f"{type(exc).__name__}: {exc}",
+                                wall,
+                                worker=worker,
+                                error=f"{type(cause).__name__}: {cause}",
                             ),
                         )
                         raise SweepPointError(
-                            failed_index, point, exc
-                        ) from exc
+                            failed_index, point, cause
+                        ) from cause
                     worker = workers.setdefault(pid, len(workers))
                     self._settle(
                         index,

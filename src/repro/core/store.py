@@ -519,6 +519,14 @@ class ResultStore:
         ``min_age_seconds`` skips temp files modified more recently
         than that many seconds ago, protecting writers that are merely
         concurrent rather than dead.
+
+        Sweeps race: several processes open the same store (or run
+        ``repro store cleanup``) and each lists the same orphans.  A
+        file may therefore vanish between this sweep's directory
+        listing and its ``stat``/``unlink`` -- that is the *other*
+        sweeper winning, not an error, so the loop skips it without
+        counting it as removed (counting would double-report across
+        concurrent sweeps) and moves on to the next candidate.
         """
         removed = 0
         if self.directory.is_dir():
@@ -531,9 +539,13 @@ class ResultStore:
                     if min_age_seconds and path.stat().st_mtime > cutoff:
                         continue
                     path.unlink()
-                    removed += 1
+                except FileNotFoundError:
+                    # Lost the race to a concurrent sweeper (or the
+                    # writer's own failure cleanup): already gone.
+                    continue
                 except OSError:
-                    pass
+                    continue
+                removed += 1
         return removed
 
     def entry_count(self) -> int:

@@ -12,9 +12,11 @@ path re-fetches ``directory.entry(block)`` after waiting -- both
 observation patterns are part of the protocol's gated-commit
 behaviour and must not be "harmonised".
 
-``COMMIT_TRANSITIONS`` declares, per committing handler, the
-cache-line transitions it may drive; the declaration is validated
-against :data:`repro.memory.states.ALLOWED_TRANSITIONS` at import.
+``COMMIT_TRANSITIONS`` -- the cache-line transitions the handlers may
+drive -- is **derived** from the directory guarded-action spec
+(:func:`repro.spec.commit_table`) and validated against
+:data:`repro.memory.states.ALLOWED_TRANSITIONS` at import: the int-coded
+dispatch layer and the declarative spec share one source of truth.
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ from repro.ring.flatring import (
     spawn_sharing_writeback,
     validate_commit_table,
 )
+from repro.spec import commit_table
 
 __all__ = ["DIRECTORY_TABLE", "COMMIT_TRANSITIONS"]
 
@@ -51,22 +54,12 @@ _RS = CacheState.RS
 _WE = CacheState.WE
 _LOCAL_CLEAN = MissClass.LOCAL_CLEAN
 
-#: Cache-line transitions each committing handler may drive, validated
-#: against ALLOWED_TRANSITIONS at import time.
-COMMIT_TRANSITIONS = validate_commit_table(
-    (
-        ("fill", CacheState.INV, CacheState.RS),
-        ("fill", CacheState.RS, CacheState.RS),
-        ("fill", CacheState.INV, CacheState.WE),
-        ("upgrade", CacheState.RS, CacheState.WE),
-        # ownership transfer / multicast round (inline and FlatTimer)
-        ("invalidate", CacheState.RS, CacheState.INV),
-        ("invalidate", CacheState.WE, CacheState.INV),
-        ("downgrade", CacheState.WE, CacheState.RS),
-        ("evict", CacheState.RS, CacheState.INV),
-        ("evict", CacheState.WE, CacheState.INV),
-    )
-)
+#: Cache-line transitions the committing handlers may drive, derived
+#: from the directory guarded-action spec at import time (fills and
+#: the concurrent RS -> RS re-fill, granted upgrades, the ownership
+#: transfer / multicast round -- inline and FlatTimer -- and victim
+#: replacement) and validated against ALLOWED_TRANSITIONS.
+COMMIT_TRANSITIONS = validate_commit_table(commit_table("directory"))
 
 
 # ----------------------------------------------------------------------

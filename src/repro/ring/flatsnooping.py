@@ -6,9 +6,11 @@ corresponds to one resume point of the coroutine form and preserves
 its side-effect order and kernel interaction stream exactly (see the
 equivalence contract in :mod:`repro.ring.flatring`).
 
-``COMMIT_TRANSITIONS`` declares, per committing handler, the
-cache-line transitions it may drive; the declaration is validated
-against :data:`repro.memory.states.ALLOWED_TRANSITIONS` at import.
+``COMMIT_TRANSITIONS`` -- the cache-line transitions the handlers may
+drive -- is **derived** from the snooping guarded-action spec
+(:func:`repro.spec.commit_table`) and validated against
+:data:`repro.memory.states.ALLOWED_TRANSITIONS` at import: the int-coded
+dispatch layer and the declarative spec share one source of truth.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ from repro.ring.flatring import (
     spawn_sharing_writeback,
     validate_commit_table,
 )
+from repro.spec import commit_table
 
 __all__ = ["SNOOPING_TABLE", "COMMIT_TRANSITIONS"]
 
@@ -44,25 +47,12 @@ _LOCAL_CLEAN = MissClass.LOCAL_CLEAN
 _REMOTE_DIRTY = MissClass.REMOTE_DIRTY
 _REMOTE_CLEAN = MissClass.REMOTE_CLEAN
 
-#: Cache-line transitions each committing handler may drive, validated
-#: against ALLOWED_TRANSITIONS at import time.
-COMMIT_TRANSITIONS = validate_commit_table(
-    (
-        # fills after a miss (RS -> RS: concurrent shared-mode readers)
-        ("fill", CacheState.INV, CacheState.RS),
-        ("fill", CacheState.RS, CacheState.RS),
-        ("fill", CacheState.INV, CacheState.WE),
-        # granted RS -> WE permission upgrades
-        ("upgrade", CacheState.RS, CacheState.WE),
-        # snoop side effects at probe passage (FlatTimer machines)
-        ("invalidate", CacheState.RS, CacheState.INV),
-        ("invalidate", CacheState.WE, CacheState.INV),
-        ("downgrade", CacheState.WE, CacheState.RS),
-        # victim replacement ahead of a fill
-        ("evict", CacheState.RS, CacheState.INV),
-        ("evict", CacheState.WE, CacheState.INV),
-    )
-)
+#: Cache-line transitions the committing handlers may drive, derived
+#: from the snooping guarded-action spec at import time (fills, the
+#: concurrent shared-mode RS -> RS re-fill, granted upgrades, snoop
+#: side effects at probe passage, and victim replacement ahead of a
+#: fill) and validated against ALLOWED_TRANSITIONS.
+COMMIT_TRANSITIONS = validate_commit_table(commit_table("snooping"))
 
 
 # ----------------------------------------------------------------------

@@ -65,6 +65,10 @@ class Execution:
     events: List[Dict[str, Any]] = field(default_factory=list)
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    #: Full formatted traceback of a failed run -- the ``error``
+    #: one-liner alone is often useless for diagnosing a runner bug
+    #: (the frames died with the worker thread).
+    traceback: Optional[str] = None
     #: Progress counters (mutated on the event loop thread).
     done_points: int = 0
     total_points: int = 0
@@ -96,6 +100,7 @@ class Execution:
             "simulated": self.simulated,
             "cache_hits": self.cache_hits,
             "error": self.error,
+            "traceback": self.traceback,
         }
 
 
@@ -131,6 +136,7 @@ class Job:
             "simulated": execution.simulated,
             "cache_hits": execution.cache_hits,
             "error": execution.error,
+            "traceback": execution.traceback,
         }
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, AsyncIterator, Dict, Optional
 
@@ -245,10 +246,21 @@ class JobScheduler:
             self.registry.finish(execution, JobState.CANCELLED)
             self._append_event(execution, {"event": "cancelled"})
         except Exception as exc:
+            # The runner thread is gone by the time a client asks what
+            # happened; keep the full traceback, not just the
+            # one-liner, and ship both in the terminal event.
             execution.error = f"{type(exc).__name__}: {exc}"
+            execution.traceback = "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            )
             self.registry.finish(execution, JobState.FAILED)
             self._append_event(
-                execution, {"event": "failed", "error": execution.error}
+                execution,
+                {
+                    "event": "failed",
+                    "error": execution.error,
+                    "traceback": execution.traceback,
+                },
             )
         else:
             if execution.cancel_requested.is_set() and not execution.subscribers:

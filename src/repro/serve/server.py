@@ -35,6 +35,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import traceback
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.store import configure_result_store, get_result_store
@@ -227,7 +228,16 @@ class ServeDaemon:
                 await self._send_json(
                     writer,
                     500,
-                    {"error": f"{type(exc).__name__}: {exc}"},
+                    {
+                        "error": f"{type(exc).__name__}: {exc}",
+                        # A 500 is a server bug; the client-side
+                        # message alone cannot locate it.
+                        "traceback": "".join(
+                            traceback.format_exception(
+                                type(exc), exc, exc.__traceback__
+                            )
+                        ),
+                    },
                 )
         except (ConnectionError, asyncio.CancelledError):
             pass

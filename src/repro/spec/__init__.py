@@ -1,0 +1,49 @@
+"""Declarative guarded-action protocol specifications.
+
+One description per protocol -- ``(state, event) -> guard, actions,
+next_state`` records over the :mod:`repro.memory.states` vocabulary --
+derived into the flat engines' commit tables at import, executed
+abstractly by :class:`~repro.spec.interp.SpecMachine`, cross-checked
+against the live engines by ``repro check explore --expansion spec``,
+and printed/diffed/verified by the ``repro spec`` CLI verb.
+
+See ``docs/SPECS.md`` for the format and a fully worked table.
+"""
+
+from repro.spec.core import (
+    EVENTS,
+    GUARDS,
+    OP_COMMITS,
+    SPECS,
+    Commit,
+    GuardedAction,
+    ProtocolSpec,
+    SpecValidationError,
+    commit_table,
+    diff_tables,
+    mutate_rule,
+    render_table,
+    spec_for,
+    validate_spec,
+)
+from repro.spec.interp import SpecDivergence, SpecMachine, select_rule
+
+__all__ = [
+    "EVENTS",
+    "GUARDS",
+    "OP_COMMITS",
+    "SPECS",
+    "Commit",
+    "GuardedAction",
+    "ProtocolSpec",
+    "SpecDivergence",
+    "SpecMachine",
+    "SpecValidationError",
+    "commit_table",
+    "diff_tables",
+    "mutate_rule",
+    "render_table",
+    "select_rule",
+    "spec_for",
+    "validate_spec",
+]

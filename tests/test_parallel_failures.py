@@ -55,6 +55,34 @@ def test_parallel_failure_names_the_point(temp_store):
     assert "seed=41" in str(error)
 
 
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_failed_outcome_records_wall_and_worker(temp_store, jobs):
+    """A failed point settles with the wall time it actually spent and
+    the worker that ran it -- not the fabricated ``0.0`` / ``0`` the
+    executor used to report when the failure crossed the pool
+    boundary."""
+    settled = []
+
+    def progress(done, total, outcome):
+        settled.append(outcome)
+
+    with pytest.raises(SweepPointError) as excinfo:
+        execute_points([BAD], jobs=jobs, progress=progress)
+    (outcome,) = settled
+    assert outcome.failed and outcome.result is None
+    assert outcome.wall_s > 0.0
+    assert outcome.worker == 0  # the only worker observed so far
+    assert "no-such-benchmark" in outcome.error
+    # The cause chain surfaces the original worker exception, not the
+    # internal metadata wrapper it travelled in.
+    from repro.core.parallel import _PointFailure
+
+    cause = excinfo.value.__cause__
+    assert cause is not None
+    assert not isinstance(cause, _PointFailure)
+    assert f"{type(cause).__name__}: {cause}" == outcome.error
+
+
 def test_parallel_failure_cancels_outstanding_points(temp_store):
     # Many queued points behind the failing one: the executor must not
     # drain them all before surfacing the error.  With jobs=2 only a

@@ -273,13 +273,46 @@ def test_submission_validation_and_conflicts(daemon, client):
 
 def test_failed_execution_reports_the_error(daemon, client):
     job = client.submit({**SWEEP_SPEC, "benchmark": "no-such-benchmark"})
-    final = client.wait(job["job"])
+    events = list(client.events(job["job"]))
+    final = client.job(job["job"])
     assert final["state"] == "failed"
     assert "no-such-benchmark" in final["error"]
+    # The runner thread that raised is long gone by the time a client
+    # asks what happened; the full traceback must round-trip through
+    # the failed NDJSON event and the job record, not just the
+    # one-line summary.
+    (failed,) = [e for e in events if e.get("event") == "failed"]
+    assert failed["error"] == final["error"]
+    assert "Traceback (most recent call last)" in failed["traceback"]
+    assert "no-such-benchmark" in failed["traceback"]
+    assert final["traceback"] == failed["traceback"]
     with pytest.raises(ServeError) as excinfo:
         client.result(job["job"])
     assert excinfo.value.status == 409
     assert client.stats()["failed"] == 1
+
+
+def test_route_bug_returns_500_with_traceback(daemon):
+    import http.client
+    import json
+
+    def boom():
+        raise RuntimeError("stats exploded")
+
+    daemon.scheduler.registry.stats = boom
+    connection = http.client.HTTPConnection(
+        daemon.host, daemon.port, timeout=30
+    )
+    try:
+        connection.request("GET", "/stats")
+        response = connection.getresponse()
+        payload = json.loads(response.read())
+    finally:
+        connection.close()
+    assert response.status == 500
+    assert payload["error"] == "RuntimeError: stats exploded"
+    assert "Traceback (most recent call last)" in payload["traceback"]
+    assert "stats exploded" in payload["traceback"]
 
 
 # ----------------------------------------------------------------------

@@ -99,6 +99,77 @@ def test_lost_write_is_counted_not_raised(tmp_path):
     assert store.counters()["lost_writes"] == 1
 
 
+def _race_cleanup(task):
+    """Worker body: sweep the same store as every other worker."""
+    store_dir = task
+    # enabled=False skips the open-time sweep so every removal below is
+    # attributable to the explicit cleanup call.
+    store = ResultStore(store_dir, enabled=False)
+    return store.cleanup_stale_tmp()
+
+
+def test_concurrent_sweeps_count_each_orphan_once(tmp_path):
+    """Racing sweepers of one store: no crash, and each orphan is
+    counted as removed by exactly one of them."""
+    results = tmp_path / "results"
+    results.mkdir(parents=True)
+    count = 40
+    for index in range(count):
+        (results / f".tmp-{index}.json").write_text("{}")
+    removed = map_tasks(
+        _race_cleanup, [str(tmp_path)] * 4, jobs=4
+    )
+    assert sum(removed) == count
+    assert ResultStore(tmp_path, enabled=False).tmp_count() == 0
+
+
+def test_cleanup_skips_files_a_concurrent_sweeper_already_removed(
+    tmp_path, monkeypatch
+):
+    """Files vanishing between the sweep's listing and its stat/unlink
+    (a concurrent sweeper winning the race) are skipped -- not counted,
+    not crashed on."""
+    import os
+    import pathlib
+
+    store = ResultStore(tmp_path, enabled=False)
+    results = tmp_path / "results"
+    results.mkdir(parents=True)
+    gone_at_stat = results / ".tmp-gone-at-stat.json"
+    gone_at_unlink = results / ".tmp-gone-at-unlink.json"
+    mine = results / ".tmp-mine.json"
+    past = None
+    for path in (gone_at_stat, gone_at_unlink, mine):
+        path.write_text("{}")
+        past = path.stat().st_mtime - 7200
+        os.utime(path, (past, past))
+
+    real_stat = pathlib.Path.stat
+    real_unlink = pathlib.Path.unlink
+
+    def racing_stat(self, **kwargs):
+        if self.name == gone_at_stat.name:
+            os.remove(self)
+            raise FileNotFoundError(2, "swept concurrently", str(self))
+        return real_stat(self, **kwargs)
+
+    def racing_unlink(self, **kwargs):
+        if self.name == gone_at_unlink.name:
+            os.remove(self)
+            raise FileNotFoundError(2, "swept concurrently", str(self))
+        return real_unlink(self, **kwargs)
+
+    monkeypatch.setattr(pathlib.Path, "stat", racing_stat)
+    monkeypatch.setattr(pathlib.Path, "unlink", racing_unlink)
+    removed = store.cleanup_stale_tmp(min_age_seconds=3600)
+    monkeypatch.undo()
+
+    assert removed == 1  # only .tmp-mine.json is ours to count
+    assert not gone_at_stat.exists()
+    assert not gone_at_unlink.exists()
+    assert not mine.exists()
+
+
 def test_store_info_shape(tmp_path, temp_store):
     payload = _payload(temp_store)
     result = result_from_jsonable(payload)
